@@ -1,0 +1,39 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+paper's full experimental scale (300,000 cycles per correlation, 100
+repetitions for the box plots) and prints a paper-vs-measured comparison.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.experiments.common import paper_expectations
+
+
+@pytest.fixture(scope="session")
+def report():
+    """A titled report printer (output visible with ``pytest -s``)."""
+
+    def _report(title: str, body: str) -> None:
+        bar = "=" * 78
+        print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> ExperimentConfig:
+    """The full-scale configuration matching the paper's experiments."""
+    return ExperimentConfig.paper_defaults()
+
+
+@pytest.fixture(scope="session")
+def expectations() -> dict:
+    """Published values the reproduction is compared against."""
+    return paper_expectations()

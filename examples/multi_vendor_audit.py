@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Multi-vendor IP audit: several clock-modulation watermarks on one die.
+
+The paper points out that different top-level IP modules or sub-modules can
+be modulated independently. In a realistic SoC each IP vendor embeds its own
+watermark (with its own LFSR, so the sequences are distinguishable), and
+auditing a finished product means testing the single measured supply-current
+trace against every vendor's model sequence.
+
+This example builds a die carrying watermarks from two vendors plus the
+usual Cortex-M0-class background activity, measures it once, and shows that:
+
+* both vendors' watermarks are found in the combined trace;
+* a vendor whose IP is *not* on the die is correctly reported as absent.
+
+Run:  python examples/multi_vendor_audit.py [--cycles 150000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import ExperimentConfig
+from repro.core.multi import MultiWatermarkSystem
+from repro.measurement.acquisition import AcquisitionCampaign
+from repro.power.estimator import PowerEstimator
+from repro.power.trace import PowerTrace
+from repro.soc.chip import build_chip_one
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=150_000)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    config = ExperimentConfig.paper_defaults()
+    estimator = PowerEstimator.at_nominal()
+
+    # Three vendors license IP to the integrator, but only two of the blocks
+    # end up on this die.
+    system = MultiWatermarkSystem.with_distinct_lfsr_widths(
+        ["cpu_vendor", "dsp_vendor", "crypto_vendor"], widths=[12, 11, 10]
+    )
+    on_die = ["cpu_vendor", "dsp_vendor"]
+
+    print("vendors with registered watermarks:", [v.vendor for v in system.vendors])
+    print("vendors actually integrated on the die:", on_die)
+    print()
+
+    # Background: the usual chip I system activity (without its own watermark).
+    chip = build_chip_one(watermark=None)
+    background = chip.background_power(args.cycles, seed=args.seed)
+    watermarks = system.combined_power_trace(
+        estimator,
+        args.cycles,
+        active_vendors=on_die,
+        phase_offsets={"cpu_vendor": 3100, "dsp_vendor": 450},
+    )
+    total = PowerTrace(
+        name="die_total",
+        clock=background.clock,
+        power_w=background.power_w + watermarks.power_w,
+        voltage_v=background.voltage_v,
+    )
+
+    measured = AcquisitionCampaign(config.measurement).measure(total, seed=args.seed)
+    print(
+        f"measured {args.cycles} cycles: mean power {measured.mean_power_w * 1e3:.2f} mW, "
+        f"per-cycle sigma {measured.std_power_w * 1e3:.1f} mW"
+    )
+    print()
+
+    print("audit results (one CPA run per vendor sequence):")
+    results = system.audit(measured.values, config.detection)
+    for vendor, cpa in results.items():
+        expected = "on die" if vendor in on_die else "not on die"
+        print(f"  {vendor:<14} [{expected:>10}]  {cpa.summary()}")
+
+    detected = set(system.detected_vendors(measured.values, config.detection))
+    print()
+    if detected == set(on_die):
+        print("=> audit verdict matches the ground truth: integrated IP detected, absent IP cleared.")
+    else:
+        print(f"=> audit verdict {sorted(detected)} differs from ground truth {sorted(on_die)}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP 517 editable installs (which build a wheel) are
+not available.  Keeping a classic ``setup.py`` lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path; all project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Reproduction of "Clock-Modulation Based Watermark for Protection of
+Embedded Processors" (Kufel, Wilson, Hill, Al-Hashimi, Whatmough, Myers --
+DATE 2014, DOI 10.7873/DATE.2014.053).
+
+The package is organised as follows:
+
+``repro.core``
+    The paper's contribution: watermark sequence generators (LFSR /
+    circular shift register), the watermark generation circuit, the
+    baseline load-circuit watermark, the proposed clock-modulation
+    watermark, and the embedding API.
+``repro.rtl``
+    RTL substrate: registers, integrated clock gates, clock trees,
+    hierarchical modules, netlists and a cycle-level activity simulator.
+``repro.power``
+    Power modelling calibrated to the paper's 65 nm figures.
+``repro.soc``
+    Embedded-processor substrate: Thumb-like ISA, assembler, Cortex-M0-class
+    core, bus, SRAM, caches, background-noise models, chip I/II assemblies.
+``repro.measurement``
+    Shunt / probe / oscilloscope measurement chain.
+``repro.detection``
+    Correlation Power Analysis detection, spread spectra and statistics.
+``repro.analysis``
+    Area, overhead and removal-attack robustness analysis.
+``repro.experiments``
+    One driver per paper table/figure (Fig. 2, 3, 5, 6; Tables I, II;
+    Section VI robustness).
+
+Quickstart
+----------
+>>> from repro.experiments import run_table2
+>>> result = run_table2()
+>>> round(result.headline_reduction, 2)
+0.98
+"""
+
+from repro.core import (
+    LFSR,
+    BaselineWatermark,
+    ClockModulationWatermark,
+    WatermarkConfig,
+    MeasurementConfig,
+    DetectionConfig,
+    ExperimentConfig,
+    WatermarkGenerationCircuit,
+)
+from repro.detection import CPADetector, SpreadSpectrum
+from repro.measurement import AcquisitionCampaign
+from repro.power import PowerEstimator
+from repro.soc import build_chip_one, build_chip_two
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LFSR",
+    "BaselineWatermark",
+    "ClockModulationWatermark",
+    "WatermarkConfig",
+    "MeasurementConfig",
+    "DetectionConfig",
+    "ExperimentConfig",
+    "WatermarkGenerationCircuit",
+    "CPADetector",
+    "SpreadSpectrum",
+    "AcquisitionCampaign",
+    "PowerEstimator",
+    "build_chip_one",
+    "build_chip_two",
+    "__version__",
+]

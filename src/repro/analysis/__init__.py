@@ -1,0 +1,43 @@
+"""Area, overhead and robustness analysis (Sections V and VI of the paper)."""
+
+from repro.analysis.area import AreaModel, AreaBreakdown
+from repro.analysis.overhead import (
+    OverheadRow,
+    OverheadTable,
+    area_overhead_reduction,
+    load_circuit_overhead_table,
+)
+from repro.analysis.attacks import RemovalAttack, AttackOutcome, find_standalone_clusters
+from repro.analysis.robustness import RobustnessAssessment, assess_robustness
+from repro.analysis.masking import (
+    MaskingPoint,
+    MaskingStudy,
+    run_noise_masking_study,
+    run_starvation_study,
+)
+from repro.analysis.operating_point import (
+    CornerResult,
+    OperatingPointStudy,
+    run_operating_point_study,
+)
+
+__all__ = [
+    "CornerResult",
+    "OperatingPointStudy",
+    "run_operating_point_study",
+    "MaskingPoint",
+    "MaskingStudy",
+    "run_noise_masking_study",
+    "run_starvation_study",
+    "AreaModel",
+    "AreaBreakdown",
+    "OverheadRow",
+    "OverheadTable",
+    "area_overhead_reduction",
+    "load_circuit_overhead_table",
+    "RemovalAttack",
+    "AttackOutcome",
+    "find_standalone_clusters",
+    "RobustnessAssessment",
+    "assess_robustness",
+]

@@ -1,0 +1,76 @@
+"""Area models for watermark hardware.
+
+Area is reported both in flip-flop counts (the unit the paper uses for its
+overhead argument -- "the watermark generation circuit requires only 12
+registers") and in square micrometres using the synthetic 65 nm library's
+cell areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.power.library import CellLibrary, TSMC65LP_LIKE
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area of a circuit broken down by cell class."""
+
+    name: str
+    cell_counts: Mapping[str, int]
+    area_um2_by_type: Mapping[str, float]
+
+    @property
+    def total_cells(self) -> int:
+        """Total number of library cells."""
+        return sum(self.cell_counts.values())
+
+    @property
+    def total_area_um2(self) -> float:
+        """Total silicon area in square micrometres."""
+        return sum(self.area_um2_by_type.values())
+
+    @property
+    def register_count(self) -> int:
+        """Number of sequential cells (DFF class)."""
+        return int(self.cell_counts.get("dff", 0))
+
+
+class AreaModel:
+    """Computes area figures from cell inventories."""
+
+    def __init__(self, library: CellLibrary = TSMC65LP_LIKE) -> None:
+        self.library = library
+
+    def breakdown(self, name: str, cell_counts: Mapping[str, int]) -> AreaBreakdown:
+        """Area breakdown of a circuit given as ``{cell_type: count}``."""
+        for cell_type, count in cell_counts.items():
+            if count < 0:
+                raise ValueError(f"negative cell count for {cell_type!r}")
+        areas = {
+            cell_type: self.library.area_of(cell_type, count)
+            for cell_type, count in cell_counts.items()
+        }
+        return AreaBreakdown(name=name, cell_counts=dict(cell_counts), area_um2_by_type=areas)
+
+    def architecture_area(self, architecture) -> AreaBreakdown:
+        """Area breakdown of a watermark architecture's *added* hardware.
+
+        For the clock-modulation architecture reusing an existing IP block
+        the modulated registers belong to the host design, so only the WGC
+        is charged; the redundant-bank variant used on the test chips is
+        charged in full (it adds 1,024 registers as a validation vehicle).
+        """
+        return self.breakdown(architecture.name, architecture.added_cell_inventory())
+
+    def relative_overhead(
+        self, watermark_cells: Mapping[str, int], system_cells: Mapping[str, int]
+    ) -> float:
+        """Watermark area as a fraction of the host system area."""
+        watermark_area = self.breakdown("watermark", watermark_cells).total_area_um2
+        system_area = self.breakdown("system", system_cells).total_area_um2
+        if system_area <= 0:
+            raise ValueError("system area must be positive")
+        return watermark_area / system_area

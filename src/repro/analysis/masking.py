@@ -1,0 +1,196 @@
+"""Masking attacks: hiding the watermark instead of removing it.
+
+Section VI of the paper treats *removal* attacks.  A weaker but cheaper
+adversary can instead try to *mask* the watermark: leave the RTL untouched
+but degrade the IP vendor's detection capability, either by injecting random
+dummy switching activity (raising the noise floor) or by running the device
+only in states where the watermarked sub-module's original clock-gate enable
+is low (starving the watermark of power).  This module quantifies how much
+masking power or duty-cycle starvation is needed to defeat CPA at a given
+acquisition length -- the flip side of the detection-probability analysis in
+:mod:`repro.detection.campaign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DetectionConfig
+from repro.detection.cpa import CPADetector
+
+
+@dataclass(frozen=True)
+class MaskingPoint:
+    """Detection outcome under one masking configuration."""
+
+    masking_noise_w: float
+    enable_duty: float
+    detected: bool
+    peak_correlation: float
+    z_score: float
+
+
+@dataclass
+class MaskingStudy:
+    """Results of a masking-attack sweep."""
+
+    watermark_amplitude_w: float
+    base_noise_sigma_w: float
+    num_cycles: int
+    points: List[MaskingPoint] = field(default_factory=list)
+
+    def detection_defeated_at(self) -> Optional[MaskingPoint]:
+        """First sweep point at which the watermark is no longer detected."""
+        for point in self.points:
+            if not point.detected:
+                return point
+        return None
+
+    def still_detected_everywhere(self) -> bool:
+        """Whether the watermark survived every evaluated masking level."""
+        return all(point.detected for point in self.points)
+
+    def to_text(self) -> str:
+        """Render the sweep as a text table."""
+        lines = [
+            f"Masking study ({self.num_cycles} cycles, watermark amplitude "
+            f"{self.watermark_amplitude_w * 1e3:.2f} mW, base noise "
+            f"{self.base_noise_sigma_w * 1e3:.1f} mW):",
+            f"{'masking noise':>14} {'enable duty':>12} {'peak rho':>10} {'z':>7} {'detected':>9}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.masking_noise_w * 1e3:>11.1f} mW {point.enable_duty:>12.2f} "
+                f"{point.peak_correlation:>10.4f} {point.z_score:>7.1f} {str(point.detected):>9}"
+            )
+        return "\n".join(lines)
+
+
+def _simulate_detection(
+    sequence: np.ndarray,
+    num_cycles: int,
+    watermark_amplitude_w: float,
+    noise_sigma_w: float,
+    enable_duty: float,
+    detector: CPADetector,
+    rng: np.random.Generator,
+    base_power_w: float = 5e-3,
+) -> MaskingPoint:
+    period = len(sequence)
+    tiled = np.tile(sequence, int(np.ceil((num_cycles + period) / period)))
+    offset = int(rng.integers(0, period))
+    watermark = tiled[offset : offset + num_cycles].astype(float)
+    # Starvation: the host's original CLK_CTRL is only high for a fraction of
+    # the cycles, and the watermark only draws power when both are high
+    # (Fig. 1(b): the effective enable is WMARK AND CLK_CTRL).
+    if enable_duty < 1.0:
+        gate = rng.random(num_cycles) < enable_duty
+        watermark = watermark * gate
+    measured = (
+        base_power_w
+        + watermark * watermark_amplitude_w
+        + rng.normal(0.0, noise_sigma_w, num_cycles)
+    )
+    result = detector.detect(sequence, measured)
+    return MaskingPoint(
+        masking_noise_w=0.0,
+        enable_duty=enable_duty,
+        detected=result.detected,
+        peak_correlation=result.peak_correlation,
+        z_score=result.z_score,
+    )
+
+
+def run_noise_masking_study(
+    sequence: np.ndarray,
+    watermark_amplitude_w: float = 1.5e-3,
+    base_noise_sigma_w: float = 43e-3,
+    masking_noise_levels_w: Sequence[float] = (0.0, 50e-3, 100e-3, 200e-3, 400e-3),
+    num_cycles: int = 300_000,
+    detection_config: Optional[DetectionConfig] = None,
+    seed: int = 0,
+) -> MaskingStudy:
+    """Sweep the amount of random masking activity an attacker injects.
+
+    The masking activity is uncorrelated with the watermark sequence, so it
+    only raises the noise floor; the study shows how much extra switching
+    power (and therefore energy cost to the attacker's product) is needed to
+    push the correlation peak below the detection threshold at the paper's
+    acquisition length.
+    """
+    sequence = np.asarray(sequence, dtype=np.float64)
+    detector = CPADetector(detection_config or DetectionConfig())
+    rng = np.random.default_rng(seed)
+    study = MaskingStudy(
+        watermark_amplitude_w=watermark_amplitude_w,
+        base_noise_sigma_w=base_noise_sigma_w,
+        num_cycles=num_cycles,
+    )
+    for masking in masking_noise_levels_w:
+        if masking < 0:
+            raise ValueError("masking noise must be non-negative")
+        total_sigma = float(np.sqrt(base_noise_sigma_w**2 + masking**2))
+        point = _simulate_detection(
+            sequence,
+            num_cycles,
+            watermark_amplitude_w,
+            total_sigma,
+            enable_duty=1.0,
+            detector=detector,
+            rng=rng,
+        )
+        study.points.append(
+            MaskingPoint(
+                masking_noise_w=float(masking),
+                enable_duty=1.0,
+                detected=point.detected,
+                peak_correlation=point.peak_correlation,
+                z_score=point.z_score,
+            )
+        )
+    return study
+
+
+def run_starvation_study(
+    sequence: np.ndarray,
+    watermark_amplitude_w: float = 1.5e-3,
+    base_noise_sigma_w: float = 43e-3,
+    enable_duties: Sequence[float] = (1.0, 0.5, 0.25, 0.1, 0.02),
+    num_cycles: int = 300_000,
+    detection_config: Optional[DetectionConfig] = None,
+    seed: int = 0,
+) -> MaskingStudy:
+    """Sweep the fraction of cycles in which the modulated clock gate may open.
+
+    Models an adversary (or simply an unfortunate workload) that keeps the
+    watermarked sub-module's functional clock-gate enable low most of the
+    time; the watermark amplitude scales with the duty and detection
+    eventually fails, quantifying the paper's remark that the watermark can
+    be exercised while the system is inactive to avoid exactly this.
+    """
+    sequence = np.asarray(sequence, dtype=np.float64)
+    detector = CPADetector(detection_config or DetectionConfig())
+    rng = np.random.default_rng(seed)
+    study = MaskingStudy(
+        watermark_amplitude_w=watermark_amplitude_w,
+        base_noise_sigma_w=base_noise_sigma_w,
+        num_cycles=num_cycles,
+    )
+    for duty in enable_duties:
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("enable duty must be within [0, 1]")
+        study.points.append(
+            _simulate_detection(
+                sequence,
+                num_cycles,
+                watermark_amplitude_w,
+                base_noise_sigma_w,
+                enable_duty=duty,
+                detector=detector,
+                rng=rng,
+            )
+        )
+    return study

@@ -1,0 +1,105 @@
+"""Operating-point (DVFS) study of watermark detectability.
+
+The paper measures at one corner (1.2 V, 10 MHz).  Products using the same
+IP may run at scaled supply voltages and clock frequencies, which changes
+the watermark's absolute power (switching energy scales with V^2, power with
+frequency) while the bench noise does not shrink accordingly.  This study
+sweeps voltage/frequency corners and reports the expected correlation and
+the acquisition length needed for reliable detection at each corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.architectures import ClockModulationWatermark, WatermarkArchitecture
+from repro.core.config import WatermarkConfig
+from repro.detection.metrics import estimate_required_cycles, expected_correlation
+from repro.power.estimator import PowerEstimator
+from repro.power.models import OperatingPoint
+from repro.rtl.signals import Clock
+
+
+@dataclass(frozen=True)
+class CornerResult:
+    """Detectability figures at one voltage/frequency corner."""
+
+    voltage_v: float
+    frequency_hz: float
+    watermark_amplitude_w: float
+    noise_sigma_w: float
+    expected_rho: float
+    required_cycles: int
+
+    @property
+    def required_time_s(self) -> float:
+        """Wall-clock acquisition time needed at this corner."""
+        return self.required_cycles / self.frequency_hz
+
+
+@dataclass
+class OperatingPointStudy:
+    """Results of a DVFS sweep."""
+
+    corners: List[CornerResult] = field(default_factory=list)
+
+    def corner(self, voltage_v: float, frequency_hz: float) -> CornerResult:
+        """Look up one corner."""
+        for corner in self.corners:
+            if abs(corner.voltage_v - voltage_v) < 1e-9 and abs(corner.frequency_hz - frequency_hz) < 1e-3:
+                return corner
+        raise KeyError(f"no corner at {voltage_v} V / {frequency_hz} Hz")
+
+    def to_text(self) -> str:
+        """Render the sweep as a text table."""
+        lines = [
+            f"{'V (V)':>6} {'f (MHz)':>8} {'WM amplitude':>13} {'rho':>8} "
+            f"{'cycles needed':>14} {'time needed':>12}",
+        ]
+        for corner in self.corners:
+            lines.append(
+                f"{corner.voltage_v:>6.2f} {corner.frequency_hz / 1e6:>8.1f} "
+                f"{corner.watermark_amplitude_w * 1e3:>10.2f} mW {corner.expected_rho:>8.4f} "
+                f"{corner.required_cycles:>14,} {corner.required_time_s * 1e3:>9.1f} ms"
+            )
+        return "\n".join(lines)
+
+
+def run_operating_point_study(
+    corners: Sequence[Tuple[float, float]] = ((1.2, 10e6), (1.0, 10e6), (0.8, 10e6), (1.2, 50e6), (1.0, 50e6)),
+    watermark: Optional[WatermarkArchitecture] = None,
+    noise_sigma_at_nominal_w: float = 43e-3,
+    noise_frequency_exponent: float = 0.5,
+) -> OperatingPointStudy:
+    """Sweep supply/frequency corners for a given watermark.
+
+    ``noise_sigma_at_nominal_w`` is the per-cycle acquisition noise at the
+    paper's corner; averaging fewer oscilloscope samples per (shorter) cycle
+    raises the per-cycle noise as ``(f / f_nominal)**noise_frequency_exponent``.
+    """
+    if noise_sigma_at_nominal_w <= 0:
+        raise ValueError("noise sigma must be positive")
+    study = OperatingPointStudy()
+    for voltage, frequency in corners:
+        if voltage <= 0 or frequency <= 0:
+            raise ValueError("voltage and frequency must be positive")
+        estimator = PowerEstimator(
+            OperatingPoint(clock=Clock("clk", frequency), voltage_v=voltage)
+        )
+        corner_watermark = watermark or ClockModulationWatermark.from_config(WatermarkConfig())
+        amplitude = corner_watermark.average_active_load_power(estimator)
+        noise = noise_sigma_at_nominal_w * (frequency / 10e6) ** noise_frequency_exponent
+        rho = expected_correlation(amplitude, noise)
+        required = estimate_required_cycles(rho, corner_watermark.sequence_period)
+        study.corners.append(
+            CornerResult(
+                voltage_v=voltage,
+                frequency_hz=frequency,
+                watermark_amplitude_w=amplitude,
+                noise_sigma_w=noise,
+                expected_rho=rho,
+                required_cycles=required,
+            )
+        )
+    return study

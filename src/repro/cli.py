@@ -1,0 +1,151 @@
+"""Command-line interface for the reproduction.
+
+Runs the paper's experiments from a terminal::
+
+    python -m repro table2
+    python -m repro fig5 --cycles 100000
+    python -m repro fig6 --repetitions 25
+    python -m repro all --quick
+
+Each sub-command prints the same text report the benchmark harness produces,
+so the CLI is the quickest way to regenerate a single table or figure
+without involving pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import ExperimentConfig, MeasurementConfig
+from repro.experiments import (
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_fig6,
+    run_robustness,
+    run_table1,
+    run_table2,
+)
+
+#: Acquisition length used by ``--quick`` runs.
+QUICK_CYCLES = 60_000
+#: Repetition count used by ``--quick`` runs of the Fig. 6 campaign.
+QUICK_REPETITIONS = 20
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Experiment configuration honouring ``--cycles`` / ``--quick``."""
+    cycles = args.cycles
+    if cycles is None:
+        cycles = QUICK_CYCLES if args.quick else MeasurementConfig().num_cycles
+    if args.quick:
+        measurement = MeasurementConfig(
+            num_cycles=cycles,
+            transient_noise_floor_w=0.020,
+            transient_noise_fraction=0.4,
+        )
+    else:
+        measurement = MeasurementConfig(num_cycles=cycles)
+    return ExperimentConfig(measurement=measurement)
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    return run_fig2().to_text()
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    return run_fig3(config=_build_config(args)).to_text()
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    return run_fig5(config=_build_config(args)).to_text()
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    repetitions = args.repetitions
+    if repetitions is None:
+        repetitions = QUICK_REPETITIONS if args.quick else 100
+    return run_fig6(repetitions=repetitions, config=_build_config(args)).to_text()
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    return run_table1().to_text()
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    return run_table2().to_text()
+
+
+def _cmd_robustness(args: argparse.Namespace) -> str:
+    return run_robustness().to_text()
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "robustness": _cmd_robustness,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Clock-Modulation Based Watermark for Protection of "
+            "Embedded Processors' (DATE 2014): regenerate the paper's tables and figures."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to regenerate ('all' runs every experiment)",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=None,
+        help="clock cycles per correlation (default: the paper's 300,000)",
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="repetitions for the Fig. 6 campaign (default: the paper's 100)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced acquisition length and noise for a fast demonstration run",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.cycles is not None and args.cycles <= 0:
+        parser.error("--cycles must be positive")
+    if args.repetitions is not None and args.repetitions <= 0:
+        parser.error("--repetitions must be positive")
+
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print("=" * 78)
+        print(f"experiment: {name}")
+        print("=" * 78)
+        print(_COMMANDS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

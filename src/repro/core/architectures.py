@@ -1,0 +1,295 @@
+"""The two watermark architectures compared in the paper.
+
+Both architectures pair a :class:`WatermarkGenerationCircuit` with a power
+pattern producer:
+
+* :class:`BaselineWatermark` (Fig. 1(a)): WGC + dedicated load circuit.
+* :class:`ClockModulationWatermark` (Fig. 1(b)): WGC + clock-modulated
+  existing (or redundant) clock-gated logic.
+
+Both expose the same interface so that the measurement chain, the CPA
+detector and the area analysis treat them interchangeably:
+
+``step()``
+    advance one cycle, returning the WMARK bit and per-group activity;
+``activity_traces(num_cycles)``
+    exact per-cycle activity for a long run, computed from one watermark
+    period and tiled (the circuits are strictly periodic);
+``power_trace(estimator, num_cycles)``
+    the watermark's per-cycle power contribution;
+``cell_inventory()`` / ``added_register_count``
+    structural figures for the area and leakage analysis.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.clock_modulation import ClockModulatedBank, ClockModulatedIPBlock
+from repro.core.config import ArchitectureKind, WatermarkConfig
+from repro.core.load_circuit import LoadCircuit
+from repro.core.wgc import WatermarkGenerationCircuit
+from repro.power.estimator import PowerEstimator
+from repro.power.trace import PowerTrace
+from repro.rtl.activity import ActivityRecord, ActivityTrace
+
+
+class WatermarkArchitecture(abc.ABC):
+    """Common behaviour of both watermark architectures."""
+
+    def __init__(self, wgc: WatermarkGenerationCircuit, name: str) -> None:
+        self.wgc = wgc
+        self.name = name
+
+    # -- abstract structural/behavioural hooks -----------------------------
+
+    @property
+    @abc.abstractmethod
+    def kind(self) -> ArchitectureKind:
+        """Which architecture this is."""
+
+    @abc.abstractmethod
+    def _load_step(self, wmark: int) -> ActivityRecord:
+        """Advance the power-pattern producer one cycle."""
+
+    @abc.abstractmethod
+    def _load_reset(self) -> None:
+        """Reset the power-pattern producer."""
+
+    @property
+    @abc.abstractmethod
+    def added_register_count(self) -> int:
+        """Registers the watermark adds to the host design."""
+
+    @abc.abstractmethod
+    def cell_inventory(self) -> Dict[str, int]:
+        """Cell counts per library class of all watermark-involved hardware.
+
+        Used for leakage estimation: every cell whose activity the watermark
+        controls contributes, including reused host cells.
+        """
+
+    def added_cell_inventory(self) -> Dict[str, int]:
+        """Cell counts of the hardware the watermark *adds* to the design.
+
+        Differs from :meth:`cell_inventory` for the clock-modulation
+        architecture in its intended end application, where an existing IP
+        sub-module is reused and only the WGC is new.
+        """
+        return self.cell_inventory()
+
+    # -- shared behaviour -----------------------------------------------------
+
+    @property
+    def sequence_period(self) -> int:
+        """Period of the watermark sequence."""
+        return self.wgc.period
+
+    def sequence(self, length: Optional[int] = None) -> np.ndarray:
+        """The watermark model sequence (the CPA vector ``X``)."""
+        return self.wgc.sequence(length)
+
+    def reset(self) -> None:
+        """Reset the WGC and the power-pattern producer."""
+        self.wgc.reset()
+        self._load_reset()
+
+    def step(self) -> Dict[str, ActivityRecord]:
+        """Advance one clock cycle.
+
+        Returns the activity of the two watermark sub-circuits under the
+        keys ``"wgc"`` and ``"load"``.  The load sees the WMARK value of the
+        *previous* cycle boundary (registered output), matching the paper's
+        Fig. 2 waveforms where the load responds to the registered WMARK.
+        """
+        wmark_before = self.wgc.wmark
+        _, wgc_activity = self.wgc.step()
+        load_activity = self._load_step(wmark_before)
+        return {"wgc": wgc_activity, "load": load_activity}
+
+    def periodic_activity(self) -> Dict[str, ActivityTrace]:
+        """Exact per-cycle activity over one full watermark period.
+
+        The watermark circuits are strictly periodic with the sequence
+        period, so one period fully characterises them.
+        """
+        self.reset()
+        period = self.sequence_period
+        wgc_records = []
+        load_records = []
+        for _ in range(period):
+            activity = self.step()
+            wgc_records.append(activity["wgc"])
+            load_records.append(activity["load"])
+        self.reset()
+        return {
+            "wgc": ActivityTrace.from_records(f"{self.name}/wgc", wgc_records),
+            "load": ActivityTrace.from_records(f"{self.name}/load", load_records),
+        }
+
+    def activity_traces(self, num_cycles: int) -> Dict[str, ActivityTrace]:
+        """Exact activity traces over ``num_cycles`` cycles (tiled periods)."""
+        if num_cycles <= 0:
+            raise ValueError("num_cycles must be positive")
+        periodic = self.periodic_activity()
+        return {key: trace.tile(num_cycles) for key, trace in periodic.items()}
+
+    def combined_activity(self, num_cycles: int) -> ActivityTrace:
+        """Total watermark activity (WGC plus load) over ``num_cycles``."""
+        traces = self.activity_traces(num_cycles)
+        combined = traces["wgc"].add(traces["load"])
+        combined.name = self.name
+        return combined
+
+    def power_trace(
+        self, estimator: PowerEstimator, num_cycles: int, include_leakage: bool = True
+    ) -> PowerTrace:
+        """Per-cycle power contributed by the watermark circuit."""
+        traces = self.activity_traces(num_cycles)
+        static = estimator.leakage_of(self.cell_inventory()) if include_leakage else 0.0
+        return estimator.combined_power_trace(
+            traces,
+            cell_types={key: "dff" for key in traces},
+            static_w=static,
+            name=self.name,
+        )
+
+    def average_active_load_power(self, estimator: PowerEstimator) -> float:
+        """Average load dynamic power during WMARK-high cycles.
+
+        This is the quantity Table I reports ("power consumption of the
+        placed-and-routed load circuit"): the load's dynamic power while the
+        watermark enables it.
+        """
+        periodic = self.periodic_activity()
+        wmark = self.sequence(self.sequence_period).astype(bool)
+        load_power = estimator.dynamic_model.power_per_cycle("dff", periodic["load"])
+        active = load_power[wmark[: len(load_power)]]
+        if len(active) == 0:
+            return 0.0
+        return float(np.mean(active))
+
+    def total_register_count(self) -> int:
+        """All registers of the watermark hardware (WGC plus added load)."""
+        return self.wgc.register_count + self.added_register_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, period={self.sequence_period})"
+
+
+class BaselineWatermark(WatermarkArchitecture):
+    """State-of-the-art watermark: WGC plus dedicated load circuit."""
+
+    def __init__(
+        self,
+        wgc: Optional[WatermarkGenerationCircuit] = None,
+        load: Optional[LoadCircuit] = None,
+        name: str = "baseline_watermark",
+    ) -> None:
+        super().__init__(wgc or WatermarkGenerationCircuit.minimal(), name)
+        self.load = load or LoadCircuit()
+
+    @classmethod
+    def from_config(cls, config: WatermarkConfig, name: str = "baseline_watermark") -> "BaselineWatermark":
+        """Build the baseline architecture from a :class:`WatermarkConfig`."""
+        wgc = (
+            WatermarkGenerationCircuit.test_chip(active_width=config.lfsr_width, seed=config.lfsr_seed)
+            if config.use_test_chip_wgc
+            else WatermarkGenerationCircuit.minimal(width=config.lfsr_width, seed=config.lfsr_seed)
+        )
+        return cls(wgc=wgc, load=LoadCircuit(num_registers=config.load_registers), name=name)
+
+    @property
+    def kind(self) -> ArchitectureKind:
+        return ArchitectureKind.BASELINE_LOAD_CIRCUIT
+
+    def _load_step(self, wmark: int) -> ActivityRecord:
+        return self.load.step(wmark)
+
+    def _load_reset(self) -> None:
+        self.load.reset()
+
+    @property
+    def added_register_count(self) -> int:
+        return self.load.register_count
+
+    def cell_inventory(self) -> Dict[str, int]:
+        inventory = dict(self.wgc.cell_inventory())
+        for cell_type, count in self.load.cell_inventory().items():
+            inventory[cell_type] = inventory.get(cell_type, 0) + count
+        return inventory
+
+
+class ClockModulationWatermark(WatermarkArchitecture):
+    """Proposed watermark: WGC modulating clock-gated logic."""
+
+    def __init__(
+        self,
+        wgc: Optional[WatermarkGenerationCircuit] = None,
+        modulated_block=None,
+        name: str = "clock_modulation_watermark",
+    ) -> None:
+        super().__init__(wgc or WatermarkGenerationCircuit.test_chip(), name)
+        self.modulated_block = modulated_block or ClockModulatedBank()
+
+    @classmethod
+    def from_config(cls, config: WatermarkConfig, name: str = "clock_modulation_watermark") -> "ClockModulationWatermark":
+        """Build the proposed architecture from a :class:`WatermarkConfig`."""
+        wgc = (
+            WatermarkGenerationCircuit.test_chip(active_width=config.lfsr_width, seed=config.lfsr_seed)
+            if config.use_test_chip_wgc
+            else WatermarkGenerationCircuit.minimal(width=config.lfsr_width, seed=config.lfsr_seed)
+        )
+        bank = ClockModulatedBank(
+            num_words=config.num_words,
+            word_width=config.word_width,
+            switching_registers=config.switching_registers,
+        )
+        return cls(wgc=wgc, modulated_block=bank, name=name)
+
+    @classmethod
+    def reusing_ip_block(
+        cls,
+        modulated_registers: int,
+        data_activity_factor: float = 0.0,
+        config: Optional[WatermarkConfig] = None,
+        name: str = "clock_modulation_watermark",
+    ) -> "ClockModulationWatermark":
+        """The end-application variant that reuses an existing IP sub-module."""
+        config = config or WatermarkConfig()
+        wgc = WatermarkGenerationCircuit.minimal(width=config.lfsr_width, seed=config.lfsr_seed)
+        block = ClockModulatedIPBlock(
+            modulated_registers=modulated_registers,
+            data_activity_factor=data_activity_factor,
+        )
+        return cls(wgc=wgc, modulated_block=block, name=name)
+
+    @property
+    def kind(self) -> ArchitectureKind:
+        return ArchitectureKind.CLOCK_MODULATION
+
+    def _load_step(self, wmark: int) -> ActivityRecord:
+        return self.modulated_block.step(wmark)
+
+    def _load_reset(self) -> None:
+        self.modulated_block.reset()
+
+    @property
+    def added_register_count(self) -> int:
+        return self.modulated_block.register_count
+
+    def cell_inventory(self) -> Dict[str, int]:
+        inventory = dict(self.wgc.cell_inventory())
+        for cell_type, count in self.modulated_block.cell_inventory().items():
+            inventory[cell_type] = inventory.get(cell_type, 0) + count
+        return inventory
+
+    def added_cell_inventory(self) -> Dict[str, int]:
+        if self.modulated_block.register_count == 0:
+            # The modulated sub-module already exists in the host design;
+            # only the WGC is new hardware.
+            return dict(self.wgc.cell_inventory())
+        return self.cell_inventory()

@@ -1,0 +1,143 @@
+"""Embedding watermark circuits into a host design's module hierarchy.
+
+The structural (netlist-level) counterpart of the behavioural architectures
+in :mod:`repro.core.architectures`.  Embedding produces the module/netlist
+structures on which the robustness analysis of Section VI operates:
+
+* the baseline watermark is added as a *stand-alone* sub-module whose only
+  connection to the host is the clock -- which is what makes it easy to
+  locate and remove;
+* the clock-modulation watermark inserts the WGC output into the enable
+  path of the host's existing integrated clock gates, so removing the
+  watermark logic severs the clock-enable cone of functional registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import ArchitectureKind, WatermarkConfig
+from repro.rtl.components import ClockGate, CombinationalBlock, Register, ShiftRegister
+from repro.rtl.module import Module
+from repro.rtl.netlist import Netlist
+
+
+@dataclass
+class EmbeddedWatermark:
+    """Handle to a watermark embedded in a host module."""
+
+    host: Module
+    architecture: ArchitectureKind
+    wgc_instances: List[str] = field(default_factory=list)
+    load_instances: List[str] = field(default_factory=list)
+    modulated_gate_paths: List[str] = field(default_factory=list)
+
+    @property
+    def watermark_instances(self) -> List[str]:
+        """All instance paths that belong to the watermark circuit."""
+        return list(self.wgc_instances) + list(self.load_instances)
+
+    def netlist(self) -> Netlist:
+        """Flatten the host (with the embedded watermark) into a netlist."""
+        return self.host.flatten()
+
+
+def _build_wgc_module(config: WatermarkConfig, name: str = "wgc") -> Module:
+    """Structural model of the WGC: LFSR register plus feedback/control logic."""
+    wgc = Module(name, role="watermark")
+    lfsr_reg = Register(f"lfsr", width=config.lfsr_width, reset_value=config.lfsr_seed)
+    feedback = CombinationalBlock("feedback", gate_count=4, activity_factor=0.3)
+    control = CombinationalBlock("control", gate_count=4, activity_factor=0.1)
+    wmark_out = CombinationalBlock("wmark_out", gate_count=1, activity_factor=0.5)
+    wgc.add_component(lfsr_reg)
+    wgc.add_component(feedback)
+    wgc.add_component(control)
+    wgc.add_component(wmark_out)
+    wgc.connect("lfsr", "feedback")
+    wgc.connect("feedback", "lfsr")
+    wgc.connect("control", "lfsr")
+    wgc.connect("lfsr", "wmark_out")
+    return wgc
+
+
+def _build_load_module(config: WatermarkConfig, name: str = "load") -> Module:
+    """Structural model of the baseline load circuit (shift-register bank)."""
+    load = Module(name, role="watermark")
+    remaining = config.load_registers
+    index = 0
+    previous: Optional[str] = None
+    while remaining > 0:
+        width = min(8, remaining)
+        sr = ShiftRegister(f"sr{index}", width=width)
+        load.add_component(sr)
+        if previous is not None:
+            load.connect(previous, f"sr{index}")
+        previous = f"sr{index}"
+        remaining -= width
+        index += 1
+    return load
+
+
+def embed_baseline(host: Module, config: Optional[WatermarkConfig] = None) -> EmbeddedWatermark:
+    """Embed the state-of-the-art WGC + load-circuit watermark into ``host``.
+
+    The watermark forms its own sub-modules; the only wiring into the host
+    design is the WGC-to-load shift-enable net, so structurally the
+    watermark is a near-isolated cluster.
+    """
+    config = config or WatermarkConfig(architecture=ArchitectureKind.BASELINE_LOAD_CIRCUIT)
+    wgc = _build_wgc_module(config, name="wm_wgc")
+    load = _build_load_module(config, name="wm_load")
+    host.add_child(wgc)
+    host.add_child(load)
+    host.connect("wm_wgc/wmark_out", "wm_load/sr0", net="wmark_shift_en")
+    wgc_paths = [f"{host.name}/wm_wgc/{n}" for n in wgc.components]
+    load_paths = [f"{host.name}/wm_load/{n}" for n in load.components]
+    return EmbeddedWatermark(
+        host=host,
+        architecture=ArchitectureKind.BASELINE_LOAD_CIRCUIT,
+        wgc_instances=wgc_paths,
+        load_instances=load_paths,
+    )
+
+
+def embed_clock_modulation(
+    host: Module,
+    target_gate_paths: List[str],
+    config: Optional[WatermarkConfig] = None,
+) -> EmbeddedWatermark:
+    """Embed the proposed clock-modulation watermark into ``host``.
+
+    ``target_gate_paths`` are paths (relative to ``host``) of existing
+    integrated clock gates whose enables are modulated.  The WGC is added as
+    a sub-module and its output is wired into each target gate's enable
+    cone, together with the original clock-gate control (Fig. 1(b)).
+
+    Raises
+    ------
+    KeyError
+        If a target path does not exist in the host.
+    ValueError
+        If a target path does not name a clock gate.
+    """
+    if not target_gate_paths:
+        raise ValueError("clock-modulation embedding needs at least one target clock gate")
+    config = config or WatermarkConfig()
+    for path in target_gate_paths:
+        component = host.find(path)
+        if not isinstance(component, ClockGate):
+            raise ValueError(f"embedding target {path!r} is not a clock gate")
+    wgc = _build_wgc_module(config, name="wm_wgc")
+    host.add_child(wgc)
+    for path in target_gate_paths:
+        host.connect(f"wm_wgc/wmark_out", path, net="wmark_clk_en")
+    wgc_paths = [f"{host.name}/wm_wgc/{n}" for n in wgc.components]
+    modulated = [f"{host.name}/{path}" for path in target_gate_paths]
+    return EmbeddedWatermark(
+        host=host,
+        architecture=ArchitectureKind.CLOCK_MODULATION,
+        wgc_instances=wgc_paths,
+        load_instances=[],
+        modulated_gate_paths=modulated,
+    )

@@ -1,0 +1,274 @@
+"""Watermark sequence generators.
+
+The watermark generation circuit in the paper's test chips contains two
+32-bit sequence generators configurable as either Linear Feedback Shift
+Registers or simple circular shift registers; the experiments use a single
+generator configured as a 12-bit maximum-length LFSR (period 4,095).
+
+Both generator types are implemented here.  Each ``step`` advances the
+register one clock cycle, returns the output watermark bit and records the
+switching activity of the generator itself (clock pins, data flips and the
+XOR feedback gates), which the power estimator turns into the WGC's share
+of the watermark dynamic power (the "Total Watermark Dynamic Power" column
+of Table I).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.rtl.activity import ActivityRecord
+from repro.rtl.components import CLOCK_EDGES_PER_CYCLE
+from repro.rtl.signals import hamming_distance
+
+#: Feedback taps producing maximum-length sequences for Fibonacci LFSRs.
+#: Taps are 1-indexed from the output stage, as conventionally tabulated.
+_MAX_LENGTH_TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 6, 2, 1),
+    27: (27, 5, 2, 1),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 6, 4, 1),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+}
+
+
+def max_length_taps(width: int) -> Tuple[int, ...]:
+    """Feedback taps that give a maximum-length sequence for ``width`` bits."""
+    if width not in _MAX_LENGTH_TAPS:
+        raise ValueError(
+            f"no maximum-length tap set tabulated for width {width}; "
+            f"supported widths: {sorted(_MAX_LENGTH_TAPS)}"
+        )
+    return _MAX_LENGTH_TAPS[width]
+
+
+def max_length_period(width: int) -> int:
+    """Period of a maximum-length sequence of the given register width."""
+    if width < 2:
+        raise ValueError("LFSR width must be at least 2")
+    return (1 << width) - 1
+
+
+class SequenceGenerator(abc.ABC):
+    """Common interface of watermark sequence generators."""
+
+    def __init__(self, name: str, width: int) -> None:
+        if width < 2:
+            raise ValueError("sequence generator width must be at least 2")
+        self.name = name
+        self.width = width
+
+    @property
+    @abc.abstractmethod
+    def period(self) -> int:
+        """Length of the generated periodic sequence."""
+
+    @property
+    @abc.abstractmethod
+    def output_bit(self) -> int:
+        """Current output (watermark) bit."""
+
+    @abc.abstractmethod
+    def step(self, clock_enabled: bool = True) -> Tuple[int, ActivityRecord]:
+        """Advance one cycle; return the new output bit and the activity."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return to the seed state."""
+
+    @property
+    def register_count(self) -> int:
+        """Number of flip-flops in the generator."""
+        return self.width
+
+    def sequence(self, length: Optional[int] = None) -> np.ndarray:
+        """Generate ``length`` output bits (default: one full period).
+
+        The generator state is saved and restored, so calling this does not
+        perturb an ongoing simulation.
+        """
+        if length is None:
+            length = self.period
+        if length <= 0:
+            raise ValueError("sequence length must be positive")
+        saved = self._save_state()
+        self.reset()
+        bits = np.empty(length, dtype=np.int8)
+        bits[0] = self.output_bit
+        for i in range(1, length):
+            bit, _ = self.step()
+            bits[i] = bit
+        self._restore_state(saved)
+        return bits
+
+    @abc.abstractmethod
+    def _save_state(self):
+        """Snapshot internal state (used by :meth:`sequence`)."""
+
+    @abc.abstractmethod
+    def _restore_state(self, state) -> None:
+        """Restore a snapshot taken by :meth:`_save_state`."""
+
+
+class LFSR(SequenceGenerator):
+    """Galois linear feedback shift register.
+
+    The feedback taps are the exponents of a primitive polynomial
+    ``x^n + ... + 1``; with a primitive polynomial the register cycles
+    through all ``2^n - 1`` non-zero states, so the output is a
+    maximum-length sequence of period ``2^n - 1``.
+
+    Parameters
+    ----------
+    width:
+        Number of stages.
+    seed:
+        Initial state; must be non-zero (the all-zero state is the lock-up
+        state of an XOR-feedback LFSR).
+    taps:
+        1-indexed taps of the feedback polynomial (excluding the constant
+        term).  Defaults to a tabulated maximum-length set.
+    """
+
+    def __init__(
+        self,
+        width: int = 12,
+        seed: int = 1,
+        taps: Optional[Tuple[int, ...]] = None,
+        name: str = "lfsr",
+    ) -> None:
+        super().__init__(name=name, width=width)
+        mask = (1 << width) - 1
+        seed &= mask
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.seed = seed
+        self.state = seed
+        self.taps = tuple(taps) if taps is not None else max_length_taps(width)
+        for tap in self.taps:
+            if not 1 <= tap <= width:
+                raise ValueError(f"tap {tap} outside valid range [1, {width}]")
+        if width not in self.taps:
+            raise ValueError(
+                f"the tap set must include the register width {width} "
+                f"(the x^{width} term of the feedback polynomial)"
+            )
+        # Galois feedback mask: the x^width term corresponds to the bit that
+        # is shifted out, so it is excluded; the constant term (x^0) injects
+        # into the most significant stage.
+        self._feedback_mask = 1 << (width - 1)
+        for tap in self.taps:
+            if tap != width:
+                self._feedback_mask |= 1 << (tap - 1)
+
+    @property
+    def period(self) -> int:
+        return max_length_period(self.width)
+
+    @property
+    def output_bit(self) -> int:
+        """The output bit is the last stage of the register."""
+        return self.state & 1
+
+    def step(self, clock_enabled: bool = True) -> Tuple[int, ActivityRecord]:
+        if not clock_enabled:
+            return self.output_bit, ActivityRecord()
+        lsb = self.state & 1
+        next_state = self.state >> 1
+        if lsb:
+            next_state ^= self._feedback_mask
+        data_toggles = hamming_distance(self.state, next_state, self.width)
+        self.state = next_state
+        activity = ActivityRecord(
+            clock_toggles=CLOCK_EDGES_PER_CYCLE * self.width,
+            data_toggles=data_toggles,
+            comb_toggles=len(self.taps) if lsb else 0,
+        )
+        return self.output_bit, activity
+
+    def reset(self) -> None:
+        self.state = self.seed
+
+    def _save_state(self) -> int:
+        return self.state
+
+    def _restore_state(self, state: int) -> None:
+        self.state = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LFSR(width={self.width}, taps={self.taps}, state={self.state:#x})"
+
+
+class CircularShiftRegister(SequenceGenerator):
+    """A circular shift register emitting a fixed, user-chosen pattern.
+
+    The test-chip WGC can be configured in this mode; the watermark
+    sequence is simply the register's initial pattern repeated forever.
+    """
+
+    def __init__(self, pattern: int, width: int = 32, name: str = "csr") -> None:
+        super().__init__(name=name, width=width)
+        self.pattern = pattern & ((1 << width) - 1)
+        self.state = self.pattern
+
+    @property
+    def period(self) -> int:
+        return self.width
+
+    @property
+    def output_bit(self) -> int:
+        return self.state & 1
+
+    def step(self, clock_enabled: bool = True) -> Tuple[int, ActivityRecord]:
+        if not clock_enabled:
+            return self.output_bit, ActivityRecord()
+        lsb = self.state & 1
+        next_state = (self.state >> 1) | (lsb << (self.width - 1))
+        data_toggles = hamming_distance(self.state, next_state, self.width)
+        self.state = next_state
+        activity = ActivityRecord(
+            clock_toggles=CLOCK_EDGES_PER_CYCLE * self.width,
+            data_toggles=data_toggles,
+        )
+        return self.output_bit, activity
+
+    def reset(self) -> None:
+        self.state = self.pattern
+
+    def _save_state(self) -> int:
+        return self.state
+
+    def _restore_state(self, state: int) -> None:
+        self.state = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircularShiftRegister(width={self.width}, state={self.state:#x})"

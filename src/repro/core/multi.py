@@ -1,0 +1,166 @@
+"""Multiple independent watermarks on one die.
+
+The paper notes that "various top level IP modules or lower level sub-modules
+can be modulated" and that the test-chip WGC already contains two sequence
+generators.  In a realistic SoC several IP vendors may each embed their own
+clock-modulation watermark; auditing the finished product then means testing
+the measured power trace against *each* vendor's model sequence.
+
+For CPA to tell the watermarks apart their sequences must be genuinely
+different -- two maximum-length LFSRs of the same width and polynomial only
+differ by a rotation, which CPA cannot distinguish.  :class:`MultiWatermarkSystem`
+therefore requires each watermark to use a distinct LFSR width (and hence a
+distinct period) or a distinct tap set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.architectures import ClockModulationWatermark, WatermarkArchitecture
+from repro.core.config import DetectionConfig
+from repro.detection.cpa import CPADetector, CPAResult
+from repro.power.estimator import PowerEstimator
+from repro.power.trace import PowerTrace
+
+
+@dataclass(frozen=True)
+class VendorWatermark:
+    """One vendor's watermark embedded in one sub-module."""
+
+    vendor: str
+    watermark: WatermarkArchitecture
+
+    @property
+    def sequence_signature(self) -> Tuple[int, Tuple[int, ...]]:
+        """(width, taps) pair identifying the sequence family."""
+        generator = self.watermark.wgc.active_generator
+        taps = tuple(getattr(generator, "taps", ()))
+        return generator.width, taps
+
+
+class MultiWatermarkSystem:
+    """A set of independent watermarks sharing one supply rail."""
+
+    def __init__(self, vendors: Sequence[VendorWatermark]) -> None:
+        if not vendors:
+            raise ValueError("a multi-watermark system needs at least one watermark")
+        names = [v.vendor for v in vendors]
+        if len(set(names)) != len(names):
+            raise ValueError("vendor names must be unique")
+        signatures = [v.sequence_signature for v in vendors]
+        if len(set(signatures)) != len(signatures):
+            raise ValueError(
+                "each vendor must use a distinct LFSR width or tap set; identical "
+                "maximum-length sequences only differ by a rotation and cannot be "
+                "told apart by CPA"
+            )
+        self.vendors: List[VendorWatermark] = list(vendors)
+
+    @classmethod
+    def with_distinct_lfsr_widths(
+        cls,
+        vendor_names: Sequence[str],
+        widths: Optional[Sequence[int]] = None,
+        modulated_registers: int = 1024,
+    ) -> "MultiWatermarkSystem":
+        """Convenience constructor giving each vendor its own LFSR width."""
+        if widths is None:
+            widths = [12 - i for i in range(len(vendor_names))]
+        if len(widths) != len(vendor_names):
+            raise ValueError("need one LFSR width per vendor")
+        vendors = []
+        for name, width in zip(vendor_names, widths):
+            watermark = ClockModulationWatermark.reusing_ip_block(
+                modulated_registers=modulated_registers,
+                config=None,
+                name=f"wm_{name}",
+            )
+            # Rebuild the WGC with the requested width (reusing_ip_block uses
+            # the default config width).
+            from repro.core.wgc import WatermarkGenerationCircuit
+
+            watermark.wgc = WatermarkGenerationCircuit.minimal(width=width, seed=1, name=f"wgc_{name}")
+            vendors.append(VendorWatermark(vendor=name, watermark=watermark))
+        return cls(vendors)
+
+    def __len__(self) -> int:
+        return len(self.vendors)
+
+    def vendor(self, name: str) -> VendorWatermark:
+        """Look up one vendor's watermark."""
+        for vendor in self.vendors:
+            if vendor.vendor == name:
+                return vendor
+        raise KeyError(f"no watermark registered for vendor {name!r}")
+
+    def combined_power_trace(
+        self,
+        estimator: PowerEstimator,
+        num_cycles: int,
+        active_vendors: Optional[Sequence[str]] = None,
+        phase_offsets: Optional[Dict[str, int]] = None,
+    ) -> PowerTrace:
+        """Sum of the power traces of the selected vendors' watermarks."""
+        if num_cycles <= 0:
+            raise ValueError("num_cycles must be positive")
+        active = set(active_vendors) if active_vendors is not None else {v.vendor for v in self.vendors}
+        unknown = active - {v.vendor for v in self.vendors}
+        if unknown:
+            raise KeyError(f"unknown vendors: {sorted(unknown)}")
+        phase_offsets = phase_offsets or {}
+        total: Optional[PowerTrace] = None
+        for vendor in self.vendors:
+            if vendor.vendor not in active:
+                continue
+            trace = vendor.watermark.power_trace(estimator, num_cycles)
+            offset = int(phase_offsets.get(vendor.vendor, 0))
+            if offset:
+                trace = PowerTrace(
+                    name=trace.name,
+                    clock=trace.clock,
+                    power_w=np.roll(trace.power_w, -offset),
+                    voltage_v=trace.voltage_v,
+                )
+            total = trace if total is None else total.add(trace)
+        if total is None:
+            # No active vendor: an all-zero trace at the estimator's clock.
+            total = PowerTrace(
+                name="no_watermark",
+                clock=estimator.operating_point.clock,
+                power_w=np.zeros(num_cycles),
+                voltage_v=estimator.operating_point.voltage_v,
+            )
+        return total
+
+    def audit(
+        self,
+        measured: np.ndarray,
+        detection_config: Optional[DetectionConfig] = None,
+    ) -> Dict[str, CPAResult]:
+        """Test the measured trace against every vendor's model sequence.
+
+        Returns one CPA result per vendor; a vendor's IP is considered
+        present when its result reports a detection.
+        """
+        detector = CPADetector(detection_config or DetectionConfig())
+        results: Dict[str, CPAResult] = {}
+        for vendor in self.vendors:
+            sequence = vendor.watermark.sequence()
+            results[vendor.vendor] = detector.detect(sequence, measured)
+        return results
+
+    def detected_vendors(
+        self,
+        measured: np.ndarray,
+        detection_config: Optional[DetectionConfig] = None,
+    ) -> List[str]:
+        """Names of the vendors whose watermark is detected in the trace."""
+        return [
+            name
+            for name, result in self.audit(measured, detection_config).items()
+            if result.detected
+        ]

@@ -1,0 +1,136 @@
+"""Watermark sequence design helpers.
+
+The paper fixes one design point (a 12-bit maximum-length LFSR detected over
+300,000 cycles).  An IP vendor adopting the technique has to answer two
+questions this module automates:
+
+* *Is my sequence a good CPA model?*  Maximum-length sequences have an
+  almost ideal two-valued periodic autocorrelation, which is exactly why a
+  single rotation peak appears in the spread spectrum; the helpers quantify
+  that for any candidate sequence.
+* *How wide should the LFSR be?*  The period must exceed the phase
+  uncertainty (every rotation is tested, so a longer period costs detection
+  margin through the extreme-value statistics of the noise floor) yet the
+  sequence must repeat often enough inside the acquisition window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.lfsr import LFSR, max_length_period
+from repro.detection.metrics import estimate_required_cycles, expected_correlation
+
+
+def periodic_autocorrelation(sequence: np.ndarray) -> np.ndarray:
+    """Periodic (circular) autocorrelation of a 0/1 sequence in +/-1 form.
+
+    For a maximum-length sequence of period ``L`` the result is ``1`` at lag
+    0 and ``-1/L`` at every other lag -- the property that guarantees a
+    single resolvable CPA peak.
+    """
+    sequence = np.asarray(sequence, dtype=np.float64)
+    if sequence.ndim != 1 or len(sequence) < 2:
+        raise ValueError("sequence must be a 1-D vector of at least two cycles")
+    bipolar = 2.0 * sequence - 1.0
+    spectrum = np.fft.rfft(bipolar)
+    correlation = np.fft.irfft(spectrum * np.conj(spectrum), n=len(bipolar))
+    return correlation / len(bipolar)
+
+
+def autocorrelation_sidelobe(sequence: np.ndarray) -> float:
+    """Largest off-peak |autocorrelation| of the sequence (lower is better)."""
+    correlation = periodic_autocorrelation(sequence)
+    if len(correlation) < 2:
+        return 0.0
+    return float(np.max(np.abs(correlation[1:])))
+
+
+def is_good_watermark_sequence(sequence: np.ndarray, max_sidelobe: float = 0.1) -> bool:
+    """Whether a sequence has a sharp enough autocorrelation for CPA.
+
+    Also requires a reasonably balanced duty cycle, since a strongly biased
+    sequence wastes watermark power without adding correlation signal.
+    """
+    sequence = np.asarray(sequence, dtype=np.float64)
+    duty = float(sequence.mean())
+    return autocorrelation_sidelobe(sequence) <= max_sidelobe and 0.3 <= duty <= 0.7
+
+
+@dataclass(frozen=True)
+class SequenceRecommendation:
+    """Outcome of the LFSR width selection."""
+
+    width: int
+    period: int
+    expected_rho: float
+    required_cycles: int
+    acquisition_cycles: int
+
+    @property
+    def repetitions_in_acquisition(self) -> float:
+        """How many times the sequence repeats inside the acquisition."""
+        return self.acquisition_cycles / self.period
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the acquisition budget suffices for reliable detection."""
+        return self.acquisition_cycles >= self.required_cycles and self.repetitions_in_acquisition >= 2
+
+
+def recommend_lfsr_width(
+    watermark_amplitude_w: float,
+    noise_sigma_w: float,
+    acquisition_cycles: int = 300_000,
+    candidate_widths: Sequence[int] = tuple(range(8, 21)),
+    confidence_sigma: float = 4.0,
+) -> SequenceRecommendation:
+    """Pick the widest feasible maximum-length LFSR for a power/noise budget.
+
+    A wider LFSR (longer period) makes brute-force guessing of the sequence
+    harder and lowers the chance of accidental correlation with periodic
+    system activity, so the recommendation prefers the widest width whose
+    period still fits the acquisition at the required confidence.
+    """
+    if acquisition_cycles <= 0:
+        raise ValueError("acquisition_cycles must be positive")
+    if not candidate_widths:
+        raise ValueError("at least one candidate width is required")
+    rho = expected_correlation(watermark_amplitude_w, noise_sigma_w)
+    if not 0.0 < rho < 1.0:
+        raise ValueError("the watermark is either undetectable or noise-free; check the inputs")
+
+    best: Optional[SequenceRecommendation] = None
+    for width in sorted(candidate_widths):
+        period = max_length_period(width)
+        required = estimate_required_cycles(rho, period, confidence_sigma)
+        candidate = SequenceRecommendation(
+            width=width,
+            period=period,
+            expected_rho=rho,
+            required_cycles=required,
+            acquisition_cycles=acquisition_cycles,
+        )
+        if candidate.feasible:
+            best = candidate
+    if best is not None:
+        return best
+    # Nothing feasible: return the narrowest candidate so the caller can see
+    # how far off the budget is.
+    width = min(candidate_widths)
+    period = max_length_period(width)
+    return SequenceRecommendation(
+        width=width,
+        period=period,
+        expected_rho=rho,
+        required_cycles=estimate_required_cycles(rho, period, confidence_sigma),
+        acquisition_cycles=acquisition_cycles,
+    )
+
+
+def build_recommended_lfsr(recommendation: SequenceRecommendation, seed: int = 1) -> LFSR:
+    """Instantiate the LFSR selected by :func:`recommend_lfsr_width`."""
+    return LFSR(width=recommendation.width, seed=seed)

@@ -1,0 +1,52 @@
+"""Watermark detection via Correlation Power Analysis (CPA).
+
+Implements Section III of the paper: the measured per-cycle power vector
+``Y`` is Pearson-correlated against every cyclic rotation of the periodic
+watermark model sequence ``X``; the resulting spread spectrum of
+correlation coefficients exhibits a single resolvable peak if (and only if)
+the watermark is present and active.
+"""
+
+from repro.detection.cpa import (
+    CPADetector,
+    CPAResult,
+    pearson_correlation,
+    rotation_correlations,
+)
+from repro.detection.spread_spectrum import SpreadSpectrum
+from repro.detection.statistics import (
+    BoxPlotStats,
+    RepetitionStatistics,
+    detection_z_score,
+    peak_to_second_peak_ratio,
+)
+from repro.detection.metrics import (
+    DetectionCampaignResult,
+    detection_probability,
+    estimate_required_cycles,
+    watermark_snr,
+)
+from repro.detection.campaign import (
+    DetectionOperatingPoint,
+    DetectionProbabilityCurve,
+    run_detection_probability_campaign,
+)
+
+__all__ = [
+    "DetectionOperatingPoint",
+    "DetectionProbabilityCurve",
+    "run_detection_probability_campaign",
+    "CPADetector",
+    "CPAResult",
+    "pearson_correlation",
+    "rotation_correlations",
+    "SpreadSpectrum",
+    "BoxPlotStats",
+    "RepetitionStatistics",
+    "detection_z_score",
+    "peak_to_second_peak_ratio",
+    "DetectionCampaignResult",
+    "detection_probability",
+    "estimate_required_cycles",
+    "watermark_snr",
+]

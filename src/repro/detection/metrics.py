@@ -1,0 +1,101 @@
+"""Detection-quality metrics and sizing helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def watermark_snr(watermark_amplitude_w: float, noise_sigma_w: float) -> float:
+    """Watermark amplitude over per-cycle noise sigma."""
+    if watermark_amplitude_w < 0 or noise_sigma_w < 0:
+        raise ValueError("amplitude and noise must be non-negative")
+    if noise_sigma_w == 0:
+        return float("inf") if watermark_amplitude_w > 0 else 0.0
+    return watermark_amplitude_w / noise_sigma_w
+
+
+def expected_correlation(watermark_amplitude_w: float, noise_sigma_w: float, duty: float = 0.5) -> float:
+    """Expected peak correlation for a binary watermark in Gaussian noise.
+
+    For a 0/1 watermark of amplitude ``a`` and duty cycle ``d`` added to
+    noise of standard deviation ``sigma``, the population correlation is
+    ``a * sqrt(d (1 - d)) / sqrt(a^2 d (1 - d) + sigma^2)``.
+    """
+    if not 0.0 < duty < 1.0:
+        raise ValueError("duty cycle must be in (0, 1)")
+    if noise_sigma_w < 0 or watermark_amplitude_w < 0:
+        raise ValueError("amplitude and noise must be non-negative")
+    signal_std = watermark_amplitude_w * np.sqrt(duty * (1.0 - duty))
+    total_std = np.sqrt(signal_std**2 + noise_sigma_w**2)
+    if total_std == 0:
+        return 0.0
+    return float(signal_std / total_std)
+
+
+def estimate_required_cycles(
+    expected_rho: float,
+    num_rotations: int,
+    confidence_sigma: float = 4.0,
+) -> int:
+    """Number of cycles needed to resolve a correlation peak.
+
+    The off-peak correlation of ``N`` independent cycles has standard
+    deviation ``1/sqrt(N)``; the peak is resolvable when
+    ``expected_rho >= confidence_sigma / sqrt(N)`` with margin for the
+    maximum over ``num_rotations`` rotations (approximated via the usual
+    sqrt(2 ln R) extreme-value factor).
+    """
+    if not 0.0 < expected_rho < 1.0:
+        raise ValueError("expected correlation must be in (0, 1)")
+    if num_rotations < 2:
+        raise ValueError("need at least two rotations")
+    if confidence_sigma <= 0:
+        raise ValueError("confidence must be positive")
+    extreme_factor = np.sqrt(2.0 * np.log(num_rotations))
+    required_sigma = confidence_sigma + extreme_factor
+    return int(np.ceil((required_sigma / expected_rho) ** 2))
+
+
+@dataclass
+class DetectionCampaignResult:
+    """Summary of a multi-repetition detection campaign."""
+
+    label: str
+    detections: np.ndarray
+    peak_correlations: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.detections = np.asarray(self.detections, dtype=bool)
+        self.peak_correlations = np.asarray(self.peak_correlations, dtype=np.float64)
+        if len(self.detections) != len(self.peak_correlations):
+            raise ValueError("detections and peak correlations must have equal length")
+
+    @property
+    def repetitions(self) -> int:
+        """Number of repetitions in the campaign."""
+        return len(self.detections)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of repetitions with a successful detection."""
+        if self.repetitions == 0:
+            return 0.0
+        return float(np.mean(self.detections))
+
+    @property
+    def mean_peak_correlation(self) -> float:
+        """Average peak correlation over the campaign."""
+        if self.repetitions == 0:
+            return 0.0
+        return float(np.mean(self.peak_correlations))
+
+
+def detection_probability(detections: Sequence[bool]) -> float:
+    """Fraction of successful detections in a sequence of attempts."""
+    detections = list(detections)
+    if not detections:
+        return 0.0
+    return float(np.mean(np.asarray(detections, dtype=bool)))

@@ -1,0 +1,116 @@
+"""Export experiment results to CSV/JSON for external plotting.
+
+The paper's figures are plots; this reproduction is terminal-based, so the
+experiment drivers expose their raw series here in formats any plotting tool
+can ingest (the CSV schema mirrors the paper's axes).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.fig2 import Fig2Result
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table2 import Table2Result
+
+PathLike = Union[str, Path]
+
+
+def export_fig2_csv(result: Fig2Result, path: PathLike) -> Path:
+    """Per-cycle waveforms of Fig. 2: cycle, WMARK, toggles of both schemes."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["cycle", "wmark", "load_circuit_toggles", "clock_modulation_toggles"])
+        for cycle in range(result.num_cycles):
+            writer.writerow(
+                [
+                    cycle,
+                    int(result.wmark[cycle]),
+                    int(result.baseline_toggles[cycle]),
+                    int(result.clock_modulation_toggles[cycle]),
+                ]
+            )
+    return path
+
+
+def export_fig5_csv(result: Fig5Result, path: PathLike) -> Path:
+    """Spread spectra of Fig. 5: one row per (panel, rotation)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["chip", "watermark_active", "rotation", "correlation"])
+        for key in sorted(result.panels):
+            panel = result.panels[key]
+            for rotation, correlation in panel.spectrum.to_series():
+                writer.writerow(
+                    [panel.chip_name, int(panel.watermark_active), rotation, f"{correlation:.6f}"]
+                )
+    return path
+
+
+def export_fig6_csv(result: Fig6Result, path: PathLike) -> Path:
+    """Fig. 6 box-plot source data: peak and off-peak correlations per chip."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["chip", "kind", "correlation"])
+        for chip_name in sorted(result.chips):
+            stats = result.chips[chip_name].statistics
+            for value in stats.peak_values:
+                writer.writerow([chip_name, "peak", f"{value:.6f}"])
+            for value in stats.off_peak_values:
+                writer.writerow([chip_name, "off_peak", f"{value:.6f}"])
+    return path
+
+
+def export_table1_csv(result: Table1Result, path: PathLike) -> Path:
+    """Table I rows as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["switching_registers", "dynamic_w", "static_w", "total_w", "share_of_watermark_dynamic"]
+        )
+        for row in result.rows:
+            writer.writerow(
+                [
+                    row.switching_registers,
+                    f"{row.dynamic_w:.6e}",
+                    f"{row.static_w:.6e}",
+                    f"{row.total_w:.6e}",
+                    f"{row.share_of_watermark_dynamic:.4f}",
+                ]
+            )
+    return path
+
+
+def export_table2_csv(result: Table2Result, path: PathLike) -> Path:
+    """Table II rows as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["load_power_w", "load_registers", "overhead_reduction"])
+        for row in result.table:
+            writer.writerow(
+                [f"{row.load_power_w:.6e}", row.load_registers, f"{row.overhead_reduction:.4f}"]
+            )
+    return path
+
+
+def export_summary_json(results: dict, path: PathLike) -> Path:
+    """Write a JSON summary of headline numbers.
+
+    ``results`` maps experiment names to already-serialisable dictionaries;
+    the helper only adds consistent formatting and file handling.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

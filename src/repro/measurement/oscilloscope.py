@@ -1,0 +1,85 @@
+"""Oscilloscope sampling and quantisation.
+
+The MSO6032A digitises the probe output with an 8-bit ADC at 500 MS/s.  The
+model applies vertical-range clipping and uniform quantisation, then
+averages the samples belonging to each clock cycle into one value -- the
+reduction step described in Section III of the paper (``f_s >> f_clk``, so
+each element of the measured vector ``Y`` is the average power of one
+cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CaptureResult:
+    """Digitised capture plus its reduction to per-cycle averages."""
+
+    raw_samples: np.ndarray
+    per_cycle_average: np.ndarray
+    full_scale_v: float
+    lsb_v: float
+
+    @property
+    def num_cycles(self) -> int:
+        """Number of clock cycles covered by the capture."""
+        return len(self.per_cycle_average)
+
+
+@dataclass(frozen=True)
+class Oscilloscope:
+    """An N-bit digitising oscilloscope channel."""
+
+    sampling_frequency_hz: float = 500e6
+    adc_bits: int = 8
+    range_headroom: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.sampling_frequency_hz <= 0:
+            raise ValueError("sampling frequency must be positive")
+        if self.adc_bits < 4:
+            raise ValueError("ADC resolution below 4 bits is not supported")
+        if self.range_headroom < 1.0:
+            raise ValueError("range headroom must be at least 1.0")
+
+    def vertical_full_scale(self, samples: np.ndarray) -> float:
+        """Full-scale range chosen to contain the waveform with headroom."""
+        peak = float(np.max(np.abs(samples))) if len(samples) else 0.0
+        if peak == 0.0:
+            return 1.0
+        return peak * self.range_headroom
+
+    def digitize(self, samples: np.ndarray, full_scale_v: Optional[float] = None) -> tuple:
+        """Clip and quantise a waveform; returns ``(digitised, full_scale, lsb)``."""
+        samples = np.asarray(samples, dtype=np.float64)
+        full_scale = full_scale_v if full_scale_v is not None else self.vertical_full_scale(samples)
+        lsb = (2.0 * full_scale) / (2 ** self.adc_bits)
+        clipped = np.clip(samples, -full_scale, full_scale)
+        digitised = np.round(clipped / lsb) * lsb
+        return digitised, full_scale, lsb
+
+    def capture(
+        self,
+        samples: np.ndarray,
+        samples_per_cycle: int,
+        full_scale_v: Optional[float] = None,
+    ) -> CaptureResult:
+        """Digitise a waveform and reduce it to per-cycle averages."""
+        if samples_per_cycle <= 0:
+            raise ValueError("samples_per_cycle must be positive")
+        digitised, full_scale, lsb = self.digitize(samples, full_scale_v)
+        usable = (len(digitised) // samples_per_cycle) * samples_per_cycle
+        if usable == 0:
+            raise ValueError("capture shorter than one clock cycle")
+        per_cycle = digitised[:usable].reshape(-1, samples_per_cycle).mean(axis=1)
+        return CaptureResult(
+            raw_samples=digitised,
+            per_cycle_average=per_cycle,
+            full_scale_v=full_scale,
+            lsb_v=lsb,
+        )

@@ -1,0 +1,53 @@
+"""Shunt-resistor current sensing.
+
+The test board routes the summed current of all power domains through a
+270 mOhm shunt resistor; the voltage across the shunt is what the probe and
+oscilloscope observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShuntResistor:
+    """A current-sense resistor in the chip's supply path.
+
+    Attributes
+    ----------
+    resistance_ohm:
+        Shunt value (0.270 ohm on the paper's test board).
+    tolerance:
+        Relative resistance tolerance; the acquisition applies a fixed gain
+        error drawn once per campaign within this tolerance.
+    """
+
+    resistance_ohm: float = 0.270
+    tolerance: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.resistance_ohm <= 0:
+            raise ValueError("shunt resistance must be positive")
+        if not 0.0 <= self.tolerance < 1.0:
+            raise ValueError("tolerance must be within [0, 1)")
+
+    def voltage_from_current(self, current_a: np.ndarray) -> np.ndarray:
+        """Voltage drop across the shunt for the given current samples."""
+        return np.asarray(current_a, dtype=np.float64) * self.resistance_ohm
+
+    def current_from_voltage(self, voltage_v: np.ndarray) -> np.ndarray:
+        """Current inferred from a measured shunt voltage."""
+        return np.asarray(voltage_v, dtype=np.float64) / self.resistance_ohm
+
+    def power_from_voltage(self, voltage_v: np.ndarray, supply_voltage_v: float) -> np.ndarray:
+        """Chip power inferred from the shunt voltage and the supply rail."""
+        if supply_voltage_v <= 0:
+            raise ValueError("supply voltage must be positive")
+        return self.current_from_voltage(voltage_v) * supply_voltage_v
+
+    def dissipation_w(self, current_a: float) -> float:
+        """Power dissipated in the shunt itself (sanity checks / board design)."""
+        return current_a * current_a * self.resistance_ohm

@@ -1,0 +1,58 @@
+"""SoC substrate: embedded-processor models producing background activity.
+
+The paper detects the watermark while an ARM Cortex-M0 runs the Dhrystone
+benchmark (chip I), and additionally with a clocked-but-idle dual-core
+Cortex-A5 plus caches contributing background noise (chip II).  This
+package provides the equivalents we can build without the proprietary IP:
+
+* a small Thumb-like instruction set, assembler and in-order scalar core
+  (:mod:`repro.soc.cpu`) whose execution produces per-cycle switching
+  activity comparable in structure to a Cortex-M0-class microcontroller;
+* SRAM, an AHB-lite-style bus and a cache model;
+* a Dhrystone-like synthetic integer workload (:mod:`repro.soc.workloads`);
+* an idle dual-core + cache background model (:mod:`repro.soc.multicore`);
+* the chip I / chip II system assemblies (:mod:`repro.soc.chip`) that turn
+  all of the above into the background power traces the measurement chain
+  consumes.
+"""
+
+from repro.soc.isa import Opcode, Instruction, Condition, REGISTER_NAMES
+from repro.soc.assembler import Assembler, AssemblyError, Program
+from repro.soc.memory import Memory
+from repro.soc.bus import SystemBus, BusTransfer
+from repro.soc.cache import Cache, CacheConfig
+from repro.soc.cpu import CortexM0Like, CPUActivityModel, ExecutionStats
+from repro.soc.multicore import IdleDualCoreA5Like
+from repro.soc.workloads import (
+    dhrystone_like_program,
+    memcopy_program,
+    idle_loop_program,
+    checksum_program,
+)
+from repro.soc.chip import ChipModel, build_chip_one, build_chip_two
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "Condition",
+    "REGISTER_NAMES",
+    "Assembler",
+    "AssemblyError",
+    "Program",
+    "Memory",
+    "SystemBus",
+    "BusTransfer",
+    "Cache",
+    "CacheConfig",
+    "CortexM0Like",
+    "CPUActivityModel",
+    "ExecutionStats",
+    "IdleDualCoreA5Like",
+    "dhrystone_like_program",
+    "memcopy_program",
+    "idle_loop_program",
+    "checksum_program",
+    "ChipModel",
+    "build_chip_one",
+    "build_chip_two",
+]

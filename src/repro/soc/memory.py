@@ -1,0 +1,147 @@
+"""Byte-addressable SRAM model with access-activity accounting.
+
+The memory tracks, per access, the switching activity of its address and
+data paths (Hamming distances against the previously driven values), which
+the SoC activity model converts into SRAM power.  Functionally it is a
+sparse byte store, adequate for the synthetic workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.rtl.signals import hamming_distance
+
+
+@dataclass
+class MemoryAccessActivity:
+    """Switching activity caused by one memory access."""
+
+    address_toggles: int = 0
+    data_toggles: int = 0
+    array_toggles: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total transitions of the access."""
+        return self.address_toggles + self.data_toggles + self.array_toggles
+
+
+class Memory:
+    """Sparse byte-addressable memory.
+
+    Parameters
+    ----------
+    size_bytes:
+        Addressable size; accesses outside ``[base_address, base_address +
+        size_bytes)`` raise ``IndexError``.
+    base_address:
+        First valid address.
+    word_access_toggles:
+        Approximate internal bit-line/word-line transitions per 32-bit
+        access, used by the power model.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 64 * 1024,
+        base_address: int = 0x2000_0000,
+        word_access_toggles: int = 48,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError("memory size must be positive")
+        self.size_bytes = size_bytes
+        self.base_address = base_address
+        self.word_access_toggles = word_access_toggles
+        self._bytes: Dict[int, int] = {}
+        self._last_address = 0
+        self._last_data = 0
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- address handling ----------------------------------------------------
+
+    def _check(self, address: int, length: int = 1) -> None:
+        if not (self.base_address <= address and address + length <= self.base_address + self.size_bytes):
+            raise IndexError(
+                f"address {address:#x} (+{length}) outside memory "
+                f"[{self.base_address:#x}, {self.base_address + self.size_bytes:#x})"
+            )
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this memory."""
+        return self.base_address <= address < self.base_address + self.size_bytes
+
+    # -- functional access -----------------------------------------------------
+
+    def read_byte(self, address: int) -> int:
+        """Read one byte (zero if never written)."""
+        self._check(address)
+        return self._bytes.get(address, 0)
+
+    def write_byte(self, address: int, value: int) -> None:
+        """Write one byte."""
+        self._check(address)
+        self._bytes[address] = value & 0xFF
+
+    def read_word(self, address: int) -> int:
+        """Read a little-endian 32-bit word."""
+        self._check(address, 4)
+        return (
+            self.read_byte(address)
+            | (self.read_byte(address + 1) << 8)
+            | (self.read_byte(address + 2) << 16)
+            | (self.read_byte(address + 3) << 24)
+        )
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write a little-endian 32-bit word."""
+        self._check(address, 4)
+        for i in range(4):
+            self.write_byte(address + i, (value >> (8 * i)) & 0xFF)
+
+    # -- activity-tracked access -------------------------------------------------
+
+    def access(self, address: int, write: bool, value: Optional[int] = None, width: int = 4) -> tuple:
+        """Perform an access and return ``(read_value, activity)``.
+
+        ``width`` is 1 (byte) or 4 (word).
+        """
+        if width not in (1, 4):
+            raise ValueError("access width must be 1 or 4 bytes")
+        if write:
+            if value is None:
+                raise ValueError("write access requires a value")
+            if width == 4:
+                self.write_word(address, value)
+            else:
+                self.write_byte(address, value)
+            data = value
+            self.write_count += 1
+            result = None
+        else:
+            data = self.read_word(address) if width == 4 else self.read_byte(address)
+            self.read_count += 1
+            result = data
+        activity = MemoryAccessActivity(
+            address_toggles=hamming_distance(self._last_address, address, 32),
+            data_toggles=hamming_distance(self._last_data, data or 0, 32),
+            array_toggles=self.word_access_toggles if width == 4 else self.word_access_toggles // 4,
+        )
+        self._last_address = address
+        self._last_data = data or 0
+        return result, activity
+
+    def load_words(self, words: Dict[int, int]) -> None:
+        """Bulk-initialise memory from an ``{address: word}`` mapping."""
+        for address, value in words.items():
+            self.write_word(address, value)
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self._bytes.clear()
+        self._last_address = 0
+        self._last_data = 0
+        self.read_count = 0
+        self.write_count = 0

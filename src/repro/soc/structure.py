@@ -1,0 +1,115 @@
+"""Structural (netlist-level) model of the host SoC.
+
+The behavioural chip models in :mod:`repro.soc.chip` produce power traces;
+this module produces the *structural* view -- a module hierarchy with
+registers, integrated clock gates and glue logic -- that the embedding API
+and the removal-attack analysis of Section VI operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.rtl.components import ClockGate, CombinationalBlock, Register
+from repro.rtl.module import Module
+
+
+@dataclass(frozen=True)
+class IPBlockSpec:
+    """Geometry of one clock-gated functional IP sub-module."""
+
+    name: str
+    num_words: int = 16
+    word_width: int = 32
+    comb_gates: int = 200
+
+    def __post_init__(self) -> None:
+        if self.num_words <= 0 or self.word_width <= 0 or self.comb_gates <= 0:
+            raise ValueError("IP block dimensions must be positive")
+
+    @property
+    def register_count(self) -> int:
+        """Flip-flops in the block."""
+        return self.num_words * self.word_width
+
+
+#: Default sub-module mix approximating a Cortex-M0-class SoC.
+DEFAULT_SOC_BLOCKS: tuple = (
+    IPBlockSpec(name="cpu_core", num_words=28, word_width=32, comb_gates=2600),
+    IPBlockSpec(name="ahb_fabric", num_words=8, word_width=32, comb_gates=500),
+    IPBlockSpec(name="uart", num_words=4, word_width=16, comb_gates=160),
+    IPBlockSpec(name="timer", num_words=6, word_width=32, comb_gates=220),
+    IPBlockSpec(name="dma", num_words=10, word_width=32, comb_gates=420),
+)
+
+
+def build_ip_block(spec: IPBlockSpec) -> Module:
+    """A clock-gated functional sub-module.
+
+    Structure per block: a control block drives the clock-gate enable
+    (``CLK_CTRL`` in Fig. 1(b)); each clock gate drives a group of register
+    words; registers feed the datapath logic which loops back to the
+    registers and to the control.
+    """
+    block = Module(spec.name, role="functional")
+    control = CombinationalBlock("clk_ctrl", gate_count=max(4, spec.comb_gates // 20), activity_factor=0.1)
+    datapath = CombinationalBlock("datapath", gate_count=spec.comb_gates, activity_factor=0.15)
+    block.add_component(control)
+    block.add_component(datapath)
+
+    words_per_gate = 4
+    num_gates = max(1, (spec.num_words + words_per_gate - 1) // words_per_gate)
+    for gate_index in range(num_gates):
+        gate = ClockGate(f"icg{gate_index}")
+        block.add_component(gate)
+        block.connect("clk_ctrl", f"icg{gate_index}", net="clk_en")
+        first_word = gate_index * words_per_gate
+        last_word = min(spec.num_words, first_word + words_per_gate)
+        for word_index in range(first_word, last_word):
+            register = Register(f"word{word_index}", width=spec.word_width)
+            block.add_component(register)
+            block.connect(f"icg{gate_index}", f"word{word_index}", net="gated_clk")
+            block.connect(f"word{word_index}", "datapath", net="q")
+    block.connect("datapath", "clk_ctrl", net="state")
+    block.connect("datapath", "word0", net="d")
+    return block
+
+
+def build_soc_structure(
+    blocks: Optional[List[IPBlockSpec]] = None,
+    name: str = "soc",
+) -> Module:
+    """Structural module hierarchy of the host SoC."""
+    soc = Module(name, role="functional")
+    specs = list(blocks) if blocks is not None else list(DEFAULT_SOC_BLOCKS)
+    if not specs:
+        raise ValueError("the SoC needs at least one IP block")
+    previous: Optional[str] = None
+    bus = CombinationalBlock("bus_matrix", gate_count=800, activity_factor=0.1)
+    soc.add_component(bus)
+    for spec in specs:
+        child = build_ip_block(spec)
+        soc.add_child(child)
+        soc.connect("bus_matrix", f"{spec.name}/clk_ctrl", net="hsel")
+        soc.connect(f"{spec.name}/datapath", "bus_matrix", net="hrdata")
+        if previous is not None:
+            soc.connect(f"{previous}/datapath", f"{spec.name}/datapath", net="irq")
+        previous = spec.name
+    return soc
+
+
+def clock_gate_paths(module: Module) -> List[str]:
+    """Paths (relative to ``module``) of every clock gate in the hierarchy.
+
+    These are the candidate embedding targets for the clock-modulation
+    watermark.
+    """
+    prefix = f"{module.name}/"
+    paths = []
+    for path, component, _ in module.iter_components():
+        if isinstance(component, ClockGate):
+            if not path.startswith(prefix):
+                raise ValueError(f"unexpected component path {path!r}")
+            paths.append(path[len(prefix):])
+    return sorted(paths)

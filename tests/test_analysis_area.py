@@ -1,0 +1,50 @@
+"""Unit tests for repro.analysis.area."""
+
+import pytest
+
+from repro.analysis.area import AreaModel
+from repro.core.architectures import BaselineWatermark, ClockModulationWatermark
+from repro.core.config import WatermarkConfig
+
+
+@pytest.fixture
+def model() -> AreaModel:
+    return AreaModel()
+
+
+class TestAreaBreakdown:
+    def test_totals(self, model):
+        breakdown = model.breakdown("x", {"dff": 100, "comb": 50})
+        assert breakdown.total_cells == 150
+        assert breakdown.register_count == 100
+        assert breakdown.total_area_um2 == pytest.approx(100 * 5.2 + 50 * 1.44)
+
+    def test_negative_counts_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.breakdown("x", {"dff": -1})
+
+    def test_unknown_cell_type_uses_comb_area(self, model):
+        breakdown = model.breakdown("x", {"mystery": 10})
+        assert breakdown.total_area_um2 == pytest.approx(10 * 1.44)
+
+
+class TestArchitectureArea:
+    def test_baseline_larger_than_minimal_clock_modulation(self, model):
+        config = WatermarkConfig(load_registers=576, use_test_chip_wgc=False)
+        baseline = BaselineWatermark.from_config(config)
+        proposed = ClockModulationWatermark.reusing_ip_block(
+            modulated_registers=4096, config=config
+        )
+        baseline_area = model.architecture_area(baseline).total_area_um2
+        proposed_area = model.architecture_area(proposed).total_area_um2
+        assert proposed_area < baseline_area
+        # The paper's headline: ~98% reduction relative to the baseline.
+        assert 1 - proposed_area / baseline_area > 0.5
+
+    def test_relative_overhead(self, model):
+        overhead = model.relative_overhead({"dff": 12}, {"dff": 12_000})
+        assert overhead == pytest.approx(0.001)
+
+    def test_relative_overhead_requires_system_area(self, model):
+        with pytest.raises(ValueError):
+            model.relative_overhead({"dff": 12}, {"dff": 0})

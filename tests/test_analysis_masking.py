@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis.masking."""
+
+import pytest
+
+from repro.analysis.masking import run_noise_masking_study, run_starvation_study
+from repro.core.lfsr import LFSR
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return LFSR(width=10, seed=0x155).sequence()
+
+
+class TestNoiseMaskingStudy:
+    @pytest.fixture(scope="class")
+    def study(self, sequence):
+        return run_noise_masking_study(
+            sequence,
+            watermark_amplitude_w=1.5e-3,
+            base_noise_sigma_w=30e-3,
+            masking_noise_levels_w=(0.0, 60e-3, 500e-3),
+            num_cycles=120_000,
+            seed=3,
+        )
+
+    def test_unmasked_watermark_detected(self, study):
+        assert study.points[0].masking_noise_w == 0.0
+        assert study.points[0].detected
+
+    def test_enough_masking_defeats_detection(self, study):
+        defeated = study.detection_defeated_at()
+        assert defeated is not None
+        assert defeated.masking_noise_w >= 60e-3
+        assert not study.still_detected_everywhere()
+
+    def test_peak_correlation_decreases_with_masking(self, study):
+        peaks = [p.peak_correlation for p in study.points]
+        assert peaks[0] > peaks[-1]
+
+    def test_masking_cost_is_large_relative_to_watermark(self, study):
+        # Defeating CPA requires masking activity orders of magnitude larger
+        # than the 1.5 mW watermark itself -- masking is an expensive attack.
+        defeated = study.detection_defeated_at()
+        assert defeated.masking_noise_w > 10 * study.watermark_amplitude_w
+
+    def test_text_rendering(self, study):
+        text = study.to_text()
+        assert "masking noise" in text
+        assert "detected" in text
+
+    def test_negative_masking_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            run_noise_masking_study(sequence, masking_noise_levels_w=(-1.0,), num_cycles=2000)
+
+
+class TestStarvationStudy:
+    @pytest.fixture(scope="class")
+    def study(self, sequence):
+        return run_starvation_study(
+            sequence,
+            watermark_amplitude_w=1.5e-3,
+            base_noise_sigma_w=30e-3,
+            enable_duties=(1.0, 0.5, 0.02),
+            num_cycles=120_000,
+            seed=4,
+        )
+
+    def test_full_duty_detected(self, study):
+        assert study.points[0].enable_duty == 1.0
+        assert study.points[0].detected
+
+    def test_heavy_starvation_defeats_detection(self, study):
+        assert not study.points[-1].detected
+
+    def test_peak_scales_with_duty(self, study):
+        peaks = [p.peak_correlation for p in study.points]
+        assert peaks[0] > peaks[1] > peaks[2]
+
+    def test_invalid_duty_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            run_starvation_study(sequence, enable_duties=(1.5,), num_cycles=2000)

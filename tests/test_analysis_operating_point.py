@@ -1,0 +1,53 @@
+"""Unit tests for repro.analysis.operating_point."""
+
+import pytest
+
+from repro.analysis.operating_point import run_operating_point_study
+
+
+class TestOperatingPointStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_operating_point_study(
+            corners=((1.2, 10e6), (1.0, 10e6), (0.8, 10e6), (1.2, 50e6))
+        )
+
+    def test_all_corners_present(self, study):
+        assert len(study.corners) == 4
+        nominal = study.corner(1.2, 10e6)
+        assert nominal.watermark_amplitude_w == pytest.approx(1.6e-3, rel=0.1)
+
+    def test_lower_voltage_reduces_amplitude_quadratically(self, study):
+        nominal = study.corner(1.2, 10e6)
+        low = study.corner(0.8, 10e6)
+        assert low.watermark_amplitude_w == pytest.approx(
+            nominal.watermark_amplitude_w * (0.8 / 1.2) ** 2, rel=0.01
+        )
+
+    def test_lower_voltage_needs_more_cycles(self, study):
+        assert study.corner(0.8, 10e6).required_cycles > study.corner(1.2, 10e6).required_cycles
+
+    def test_higher_frequency_increases_power(self, study):
+        fast = study.corner(1.2, 50e6)
+        nominal = study.corner(1.2, 10e6)
+        assert fast.watermark_amplitude_w == pytest.approx(5 * nominal.watermark_amplitude_w, rel=0.01)
+        # Higher frequency also shortens the wall-clock time per cycle.
+        assert fast.required_time_s < nominal.required_time_s
+
+    def test_nominal_corner_matches_paper_budget(self, study):
+        assert study.corner(1.2, 10e6).required_cycles < 300_000
+
+    def test_unknown_corner_lookup(self, study):
+        with pytest.raises(KeyError):
+            study.corner(0.5, 1e6)
+
+    def test_text_rendering(self, study):
+        text = study.to_text()
+        assert "cycles needed" in text
+        assert "mW" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_operating_point_study(corners=((0.0, 10e6),))
+        with pytest.raises(ValueError):
+            run_operating_point_study(noise_sigma_at_nominal_w=0.0)

@@ -1,0 +1,60 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import QUICK_CYCLES, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        for name in ("fig2", "fig3", "fig5", "fig6", "table1", "table2", "robustness", "all"):
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(["fig5", "--cycles", "1000", "--quick"])
+        assert args.cycles == 1000
+        assert args.quick
+
+
+class TestMain:
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "98.0%" in output
+        assert "experiment: table2" in output
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        assert "No Data Switching" in capsys.readouterr().out
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "WMARK" in capsys.readouterr().out
+
+    def test_robustness_runs(self, capsys):
+        assert main(["robustness"]) == 0
+        assert "improved robustness demonstrated: True" in capsys.readouterr().out
+
+    def test_fig5_quick_runs(self, capsys):
+        assert main(["fig5", "--quick", "--cycles", "40000"]) == 0
+        output = capsys.readouterr().out
+        assert "chip1" in output and "chip2" in output
+
+    def test_fig6_quick_runs(self, capsys):
+        assert main(["fig6", "--quick", "--cycles", "40000", "--repetitions", "5"]) == 0
+        assert "repetitions" in capsys.readouterr().out
+
+    def test_invalid_cycles_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--cycles", "-5"])
+
+    def test_invalid_repetitions_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--repetitions", "0"])

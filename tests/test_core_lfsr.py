@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.lfsr."""
+
+import numpy as np
+import pytest
+
+from repro.core.lfsr import (
+    LFSR,
+    CircularShiftRegister,
+    max_length_period,
+    max_length_taps,
+)
+
+
+class TestTapTables:
+    def test_paper_width_supported(self):
+        assert 12 in dict.fromkeys([12])  # the paper uses a 12-bit LFSR
+        assert max_length_taps(12) == (12, 6, 4, 1)
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            max_length_taps(33)
+
+    def test_period_formula(self):
+        assert max_length_period(12) == 4095
+        with pytest.raises(ValueError):
+            max_length_period(1)
+
+
+class TestLFSR:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7, 8, 10, 12])
+    def test_maximum_length_period(self, width):
+        lfsr = LFSR(width=width, seed=1)
+        seen = {lfsr.state}
+        for _ in range(max_length_period(width)):
+            lfsr.step()
+            seen.add(lfsr.state)
+        # After exactly one period the register is back at the seed and has
+        # visited every non-zero state.
+        assert lfsr.state == 1
+        assert len(seen) == max_length_period(width)
+        assert 0 not in seen
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(width=12, seed=0)
+
+    def test_invalid_tap_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(width=8, taps=(8, 9))
+        with pytest.raises(ValueError):
+            LFSR(width=8, taps=(6, 4))  # must include the width itself
+
+    def test_sequence_duty_cycle_near_half(self):
+        lfsr = LFSR(width=12, seed=0x5A5)
+        sequence = lfsr.sequence()
+        assert len(sequence) == 4095
+        # A maximum-length sequence has 2^(n-1) ones and 2^(n-1)-1 zeros.
+        assert int(sequence.sum()) == 2048
+
+    def test_sequence_does_not_perturb_state(self):
+        lfsr = LFSR(width=8, seed=0x3C)
+        lfsr.step()
+        state_before = lfsr.state
+        lfsr.sequence(100)
+        assert lfsr.state == state_before
+
+    def test_sequence_is_periodic(self):
+        lfsr = LFSR(width=6, seed=1)
+        sequence = lfsr.sequence(2 * lfsr.period)
+        assert np.array_equal(sequence[: lfsr.period], sequence[lfsr.period :])
+
+    def test_gated_step_holds_state(self):
+        lfsr = LFSR(width=12, seed=1)
+        bit, activity = lfsr.step(clock_enabled=False)
+        assert lfsr.state == 1
+        assert activity.total_toggles == 0
+
+    def test_step_activity_accounts_clock_and_data(self):
+        lfsr = LFSR(width=12, seed=1)
+        _, activity = lfsr.step()
+        assert activity.clock_toggles == 24
+        assert activity.data_toggles > 0
+
+    def test_reset_restores_seed(self):
+        lfsr = LFSR(width=12, seed=0x123)
+        for _ in range(10):
+            lfsr.step()
+        lfsr.reset()
+        assert lfsr.state == 0x123
+
+    def test_register_count(self):
+        assert LFSR(width=12).register_count == 12
+
+    def test_invalid_sequence_length_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(width=4).sequence(0)
+
+
+class TestCircularShiftRegister:
+    def test_period_equals_width(self):
+        csr = CircularShiftRegister(pattern=0b1010, width=4)
+        assert csr.period == 4
+
+    def test_rotation_preserves_pattern(self):
+        csr = CircularShiftRegister(pattern=0b0011, width=4)
+        states = []
+        for _ in range(4):
+            csr.step()
+            states.append(csr.state)
+        assert states[-1] == 0b0011  # back to the initial pattern
+        assert set(states) == {0b0011, 0b1001, 0b1100, 0b0110}
+
+    def test_sequence_repeats_pattern_bits(self):
+        csr = CircularShiftRegister(pattern=0b0101, width=4)
+        sequence = csr.sequence(8)
+        assert list(sequence) == [1, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_gated_step_is_idle(self):
+        csr = CircularShiftRegister(pattern=0b1010, width=4)
+        _, activity = csr.step(clock_enabled=False)
+        assert activity.total_toggles == 0
+
+    def test_reset(self):
+        csr = CircularShiftRegister(pattern=0xF0, width=8)
+        csr.step()
+        csr.reset()
+        assert csr.state == 0xF0
+
+    def test_minimum_width_enforced(self):
+        with pytest.raises(ValueError):
+            CircularShiftRegister(pattern=1, width=1)

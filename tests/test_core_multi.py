@@ -1,0 +1,104 @@
+"""Unit tests for repro.core.multi (multiple watermarks on one die)."""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import ClockModulationWatermark
+from repro.core.config import WatermarkConfig
+from repro.core.multi import MultiWatermarkSystem, VendorWatermark
+from repro.measurement.acquisition import AcquisitionCampaign
+from repro.core.config import MeasurementConfig
+from repro.power.estimator import PowerEstimator
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return PowerEstimator.at_nominal()
+
+
+@pytest.fixture(scope="module")
+def system():
+    return MultiWatermarkSystem.with_distinct_lfsr_widths(
+        ["vendor_a", "vendor_b"], widths=[11, 10], modulated_registers=1024
+    )
+
+
+class TestConstruction:
+    def test_requires_vendors(self):
+        with pytest.raises(ValueError):
+            MultiWatermarkSystem([])
+
+    def test_duplicate_vendor_names_rejected(self):
+        wm = ClockModulationWatermark.from_config(WatermarkConfig(lfsr_width=10))
+        with pytest.raises(ValueError):
+            MultiWatermarkSystem(
+                [VendorWatermark("x", wm), VendorWatermark("x", wm)]
+            )
+
+    def test_identical_sequences_rejected(self):
+        # Same width and taps, different seeds: only a rotation apart, so CPA
+        # could not attribute a detection to a specific vendor.
+        a = ClockModulationWatermark.from_config(WatermarkConfig(lfsr_width=10, lfsr_seed=1))
+        b = ClockModulationWatermark.from_config(WatermarkConfig(lfsr_width=10, lfsr_seed=7))
+        with pytest.raises(ValueError):
+            MultiWatermarkSystem([VendorWatermark("a", a), VendorWatermark("b", b)])
+
+    def test_distinct_widths_accepted(self, system):
+        assert len(system) == 2
+        assert system.vendor("vendor_a").watermark.sequence_period == 2047
+        assert system.vendor("vendor_b").watermark.sequence_period == 1023
+
+    def test_unknown_vendor_lookup(self, system):
+        with pytest.raises(KeyError):
+            system.vendor("nobody")
+
+    def test_width_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MultiWatermarkSystem.with_distinct_lfsr_widths(["a", "b"], widths=[10])
+
+
+class TestPowerAndAudit:
+    def test_combined_power_includes_all_vendors(self, system, estimator):
+        combined = system.combined_power_trace(estimator, 4096)
+        single = system.vendors[0].watermark.power_trace(estimator, 4096)
+        assert combined.average_power_w > single.average_power_w
+
+    def test_inactive_selection(self, system, estimator):
+        none_active = system.combined_power_trace(estimator, 1024, active_vendors=[])
+        assert none_active.average_power_w == 0.0
+
+    def test_unknown_active_vendor_rejected(self, system, estimator):
+        with pytest.raises(KeyError):
+            system.combined_power_trace(estimator, 1024, active_vendors=["ghost"])
+
+    def test_audit_identifies_present_vendors(self, system, estimator):
+        num_cycles = 60_000
+        watermarks = system.combined_power_trace(
+            estimator, num_cycles, phase_offsets={"vendor_a": 321, "vendor_b": 77}
+        )
+        rng = np.random.default_rng(5)
+        measured = 5e-3 + watermarks.power_w + rng.normal(0, 20e-3, num_cycles)
+        detected = system.detected_vendors(measured)
+        assert set(detected) == {"vendor_a", "vendor_b"}
+
+    def test_audit_rejects_absent_vendor(self, system, estimator):
+        num_cycles = 60_000
+        only_a = system.combined_power_trace(estimator, num_cycles, active_vendors=["vendor_a"])
+        rng = np.random.default_rng(6)
+        measured = 5e-3 + only_a.power_w + rng.normal(0, 20e-3, num_cycles)
+        results = system.audit(measured)
+        assert results["vendor_a"].detected
+        assert not results["vendor_b"].detected
+
+    def test_audit_through_measurement_chain(self, system, estimator):
+        config = MeasurementConfig(
+            num_cycles=60_000, transient_noise_floor_w=0.015, transient_noise_fraction=0.0
+        )
+        watermarks = system.combined_power_trace(estimator, config.num_cycles)
+        background = 5e-3 + watermarks.power_w
+        from repro.power.trace import PowerTrace
+
+        chip_power = PowerTrace("multi", estimator.operating_point.clock, background)
+        measured = AcquisitionCampaign(config).measure(chip_power, seed=9)
+        detected = system.detected_vendors(measured.values)
+        assert set(detected) == {"vendor_a", "vendor_b"}

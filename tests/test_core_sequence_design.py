@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.sequence_design."""
+
+import numpy as np
+import pytest
+
+from repro.core.lfsr import LFSR
+from repro.core.sequence_design import (
+    autocorrelation_sidelobe,
+    build_recommended_lfsr,
+    is_good_watermark_sequence,
+    periodic_autocorrelation,
+    recommend_lfsr_width,
+)
+
+
+class TestAutocorrelation:
+    def test_m_sequence_has_two_valued_autocorrelation(self):
+        sequence = LFSR(width=8, seed=1).sequence()
+        correlation = periodic_autocorrelation(sequence)
+        assert correlation[0] == pytest.approx(1.0)
+        assert np.allclose(correlation[1:], -1.0 / len(sequence), atol=1e-9)
+
+    def test_sidelobe_of_m_sequence_is_tiny(self):
+        sequence = LFSR(width=10, seed=3).sequence()
+        assert autocorrelation_sidelobe(sequence) == pytest.approx(1.0 / 1023, abs=1e-9)
+
+    def test_constant_sequence_rejected_as_watermark(self):
+        assert not is_good_watermark_sequence(np.ones(64))
+
+    def test_alternating_sequence_has_large_sidelobe(self):
+        alternating = np.tile([1.0, 0.0], 32)
+        assert autocorrelation_sidelobe(alternating) == pytest.approx(1.0)
+        assert not is_good_watermark_sequence(alternating)
+
+    def test_m_sequence_accepted(self):
+        assert is_good_watermark_sequence(LFSR(width=12, seed=0x5A5).sequence())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            periodic_autocorrelation(np.array([1.0]))
+
+
+class TestWidthRecommendation:
+    def test_paper_operating_point_allows_wide_lfsr(self):
+        # rho ~ 0.017 at 300k cycles: the paper's 12-bit choice must be feasible.
+        recommendation = recommend_lfsr_width(
+            watermark_amplitude_w=1.5e-3, noise_sigma_w=43e-3, acquisition_cycles=300_000
+        )
+        assert recommendation.feasible
+        assert recommendation.width >= 12
+        assert recommendation.repetitions_in_acquisition >= 2
+
+    def test_low_snr_reduces_feasible_width_or_fails(self):
+        generous = recommend_lfsr_width(1.5e-3, 43e-3, acquisition_cycles=300_000)
+        starved = recommend_lfsr_width(1.5e-3, 200e-3, acquisition_cycles=300_000)
+        assert (not starved.feasible) or starved.required_cycles > generous.required_cycles
+
+    def test_short_acquisition_is_infeasible(self):
+        recommendation = recommend_lfsr_width(
+            1.5e-3, 43e-3, acquisition_cycles=5_000, candidate_widths=(12, 14, 16)
+        )
+        assert not recommendation.feasible
+
+    def test_build_recommended_lfsr(self):
+        recommendation = recommend_lfsr_width(1.5e-3, 43e-3)
+        lfsr = build_recommended_lfsr(recommendation)
+        assert lfsr.width == recommendation.width
+        assert lfsr.period == recommendation.period
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_lfsr_width(1.5e-3, 43e-3, acquisition_cycles=0)
+        with pytest.raises(ValueError):
+            recommend_lfsr_width(1.5e-3, 43e-3, candidate_widths=())
+        with pytest.raises(ValueError):
+            recommend_lfsr_width(0.0, 43e-3)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.wgc."""
+
+import numpy as np
+import pytest
+
+from repro.core.lfsr import LFSR
+from repro.core.wgc import WatermarkGenerationCircuit
+
+
+class TestConstruction:
+    def test_minimal_wgc_register_count(self):
+        wgc = WatermarkGenerationCircuit.minimal(width=12)
+        assert wgc.register_count == 12
+        assert wgc.period == 4095
+
+    def test_test_chip_wgc_has_two_generators(self):
+        wgc = WatermarkGenerationCircuit.test_chip()
+        assert len(wgc.generators) == 2
+        # Two 32-bit generators plus always-clocked configuration registers.
+        assert wgc.register_count > 64
+
+    def test_needs_at_least_one_generator(self):
+        with pytest.raises(ValueError):
+            WatermarkGenerationCircuit(generators=[])
+
+    def test_active_index_validated(self):
+        with pytest.raises(ValueError):
+            WatermarkGenerationCircuit(generators=[LFSR(width=4)], active_index=3)
+
+    def test_cell_inventory(self):
+        wgc = WatermarkGenerationCircuit.minimal(width=12)
+        inventory = wgc.cell_inventory()
+        assert inventory["dff"] == 12
+        assert inventory["comb"] >= 1
+
+
+class TestBehaviour:
+    def test_wmark_follows_active_generator(self):
+        wgc = WatermarkGenerationCircuit.minimal(width=12, seed=0x5A5)
+        reference = LFSR(width=12, seed=0x5A5)
+        for _ in range(50):
+            wmark, _ = wgc.step()
+            expected, _ = reference.step()
+            assert wmark == expected
+
+    def test_sequence_matches_stepped_output(self):
+        wgc = WatermarkGenerationCircuit.minimal(width=8, seed=0x2B)
+        sequence = wgc.sequence(40)
+        wgc.reset()
+        observed = [wgc.wmark]
+        for _ in range(39):
+            bit, _ = wgc.step()
+            observed.append(bit)
+        assert list(sequence) == observed
+
+    def test_gated_wgc_holds_output(self):
+        wgc = WatermarkGenerationCircuit.minimal(width=8)
+        before = wgc.wmark
+        wmark, activity = wgc.step(clock_enabled=False)
+        assert wmark == before
+        assert activity.total_toggles == 0
+
+    def test_step_activity_includes_config_registers(self):
+        wgc = WatermarkGenerationCircuit.test_chip(active_width=12)
+        _, activity = wgc.step()
+        # Active LFSR (12 regs) plus always-clocked configuration registers.
+        assert activity.clock_toggles > 24
+
+    def test_reset_restores_sequence_start(self):
+        wgc = WatermarkGenerationCircuit.minimal(width=8, seed=0x11)
+        first_run = [wgc.step()[0] for _ in range(10)]
+        wgc.reset()
+        second_run = [wgc.step()[0] for _ in range(10)]
+        assert first_run == second_run
+
+    def test_sequence_period_duty(self):
+        wgc = WatermarkGenerationCircuit.test_chip(active_width=12)
+        sequence = wgc.sequence()
+        assert len(sequence) == 4095
+        assert int(sequence.sum()) == 2048
+
+
+class TestTestChipPowerStructure:
+    def test_active_register_count_larger_than_minimal(self):
+        minimal = WatermarkGenerationCircuit.minimal(width=12)
+        test_chip = WatermarkGenerationCircuit.test_chip(active_width=12)
+        assert test_chip.active_register_count > minimal.active_register_count
+
+    def test_wgc_dynamic_power_band(self, nominal_estimator):
+        # The test-chip WGC must be small enough for the bank to dominate
+        # (Table I: the load circuit is 95.6%-98% of watermark dynamic power).
+        wgc = WatermarkGenerationCircuit.test_chip(active_width=12)
+        records = []
+        for _ in range(200):
+            _, activity = wgc.step()
+            records.append(activity)
+        from repro.rtl.activity import ActivityTrace
+
+        trace = ActivityTrace.from_records("wgc", records)
+        power = nominal_estimator.dynamic_model.average_power("dff", trace)
+        assert 30e-6 < power < 120e-6

@@ -1,0 +1,103 @@
+"""Unit tests for repro.detection.campaign."""
+
+import pytest
+
+from repro.core.lfsr import LFSR
+from repro.detection.campaign import (
+    DetectionOperatingPoint,
+    DetectionProbabilityCurve,
+    run_detection_probability_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return LFSR(width=8, seed=0x2D).sequence()
+
+
+class TestDetectionOperatingPoint:
+    def test_probability(self):
+        point = DetectionOperatingPoint(
+            num_cycles=1000, trials=20, detections=15, mean_peak_correlation=0.1, mean_z_score=5.0
+        )
+        assert point.detection_probability == pytest.approx(0.75)
+
+    def test_zero_trials(self):
+        point = DetectionOperatingPoint(0, 0, 0, 0.0, 0.0)
+        assert point.detection_probability == 0.0
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def curve(self, sequence):
+        return run_detection_probability_campaign(
+            sequence,
+            watermark_amplitude_w=1.5e-3,
+            noise_sigma_w=20e-3,
+            cycle_counts=(2_000, 10_000, 40_000),
+            trials_per_point=15,
+            seed=1,
+        )
+
+    def test_curve_has_all_points(self, curve):
+        assert [p.num_cycles for p in curve.points] == [2_000, 10_000, 40_000]
+        assert all(p.trials == 15 for p in curve.points)
+
+    def test_probability_increases_with_cycles(self, curve):
+        probabilities = [p.detection_probability for p in curve.points]
+        assert probabilities[-1] > probabilities[0]
+        assert probabilities[-1] == 1.0
+        assert curve.is_monotonic()
+
+    def test_analytical_estimate_consistent_with_empirical(self, curve):
+        empirical = curve.empirical_required_cycles(target_probability=0.95)
+        assert empirical is not None
+        # The analytical estimate must land within the evaluated range and be
+        # of the same order as the empirical crossover.
+        assert curve.analytical_required_cycles < 200_000
+        assert empirical <= 40_000
+
+    def test_expected_rho(self, curve):
+        assert 0.02 < curve.expected_rho < 0.06
+
+    def test_text_rendering(self, curve):
+        text = curve.to_text()
+        assert "P(detect)" in text
+        assert "analytical" in text
+
+    def test_empirical_required_cycles_none_when_unreachable(self, sequence):
+        curve = run_detection_probability_campaign(
+            sequence,
+            watermark_amplitude_w=0.05e-3,
+            noise_sigma_w=50e-3,
+            cycle_counts=(1_000,),
+            trials_per_point=5,
+            seed=2,
+        )
+        assert curve.empirical_required_cycles() is None
+
+    def test_invalid_target_probability(self, curve):
+        with pytest.raises(ValueError):
+            curve.empirical_required_cycles(target_probability=0.0)
+
+
+class TestValidation:
+    def test_short_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            run_detection_probability_campaign([1, 0], 1e-3, 1e-3, (100,))
+
+    def test_negative_amplitude_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            run_detection_probability_campaign(sequence, -1e-3, 1e-3, (1000,))
+
+    def test_empty_cycle_counts_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            run_detection_probability_campaign(sequence, 1e-3, 1e-3, ())
+
+    def test_acquisition_shorter_than_period_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            run_detection_probability_campaign(sequence, 1e-3, 1e-3, (10,))
+
+    def test_invalid_trials_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            run_detection_probability_campaign(sequence, 1e-3, 1e-3, (1000,), trials_per_point=0)

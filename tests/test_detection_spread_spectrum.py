@@ -1,0 +1,73 @@
+"""Unit tests for repro.detection.spread_spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.detection.spread_spectrum import SpreadSpectrum
+
+
+def make_spectrum(peak_value=0.02, peak_rotation=100, size=4095, noise=0.002, seed=0):
+    rng = np.random.default_rng(seed)
+    correlations = rng.normal(0, noise, size)
+    correlations[min(peak_rotation, size - 1)] = peak_value
+    return SpreadSpectrum(label="test", correlations=correlations)
+
+
+class TestSpreadSpectrum:
+    def test_peak_properties(self):
+        spectrum = make_spectrum(peak_value=0.02, peak_rotation=1234)
+        assert spectrum.peak_rotation == 1234
+        assert spectrum.peak_correlation == pytest.approx(0.02)
+        assert len(spectrum) == 4095
+
+    def test_rotations_axis(self):
+        spectrum = make_spectrum(size=63)
+        assert list(spectrum.rotations) == list(range(63))
+
+    def test_noise_floor_statistics(self):
+        spectrum = make_spectrum(noise=0.003)
+        mean, std = spectrum.noise_floor
+        assert abs(mean) < 0.001
+        assert std == pytest.approx(0.003, rel=0.1)
+
+    def test_single_resolvable_peak(self):
+        assert make_spectrum(peak_value=0.02).has_single_resolvable_peak()
+
+    def test_no_peak_in_noise_only_spectrum(self):
+        rng = np.random.default_rng(1)
+        spectrum = SpreadSpectrum("noise", rng.normal(0, 0.002, 4095))
+        assert not spectrum.has_single_resolvable_peak()
+
+    def test_two_peaks_not_single(self):
+        spectrum = make_spectrum(peak_value=0.02)
+        correlations = spectrum.correlations.copy()
+        correlations[2000] = 0.019
+        double = SpreadSpectrum("double", correlations)
+        assert not double.has_single_resolvable_peak()
+
+    def test_to_series(self):
+        spectrum = make_spectrum(size=63)
+        series = spectrum.to_series()
+        assert len(series) == 63
+        assert series[0][0] == 0
+
+    def test_downsample_preserves_peak(self):
+        spectrum = make_spectrum(peak_value=0.05, peak_rotation=3000)
+        reduced = spectrum.downsample(200)
+        assert len(reduced) <= 200
+        assert reduced.peak_correlation == pytest.approx(0.05)
+
+    def test_downsample_noop_when_small(self):
+        spectrum = make_spectrum(size=100)
+        assert spectrum.downsample(200) is spectrum
+
+    def test_render_ascii(self):
+        text = make_spectrum().render_ascii(width=60, height=8)
+        assert "peak rho" in text
+        assert len(text.splitlines()) >= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpreadSpectrum("bad", np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            SpreadSpectrum("bad", np.array([0.1]))

@@ -1,0 +1,83 @@
+"""Unit tests for repro.experiments.export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.config import (
+    DetectionConfig,
+    ExperimentConfig,
+    MeasurementConfig,
+    WatermarkConfig,
+)
+from repro.experiments import run_fig2, run_table1, run_table2
+from repro.experiments.export import (
+    export_fig2_csv,
+    export_fig5_csv,
+    export_fig6_csv,
+    export_summary_json,
+    export_table1_csv,
+    export_table2_csv,
+)
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        watermark=WatermarkConfig(lfsr_width=8, lfsr_seed=0x2D),
+        measurement=MeasurementConfig(
+            num_cycles=20_000, transient_noise_floor_w=0.01, transient_noise_fraction=0.2
+        ),
+        detection=DetectionConfig(),
+    )
+
+
+def _read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestCsvExports:
+    def test_fig2_export(self, tmp_path):
+        result = run_fig2(num_cycles=32)
+        path = export_fig2_csv(result, tmp_path / "fig2.csv")
+        rows = _read_csv(path)
+        assert rows[0] == ["cycle", "wmark", "load_circuit_toggles", "clock_modulation_toggles"]
+        assert len(rows) == 33
+
+    def test_fig5_export(self, tmp_path, tiny_config):
+        result = run_fig5(config=tiny_config, m0_window_cycles=1024)
+        path = export_fig5_csv(result, tmp_path / "fig5.csv")
+        rows = _read_csv(path)
+        assert rows[0] == ["chip", "watermark_active", "rotation", "correlation"]
+        # 4 panels x 255 rotations.
+        assert len(rows) == 1 + 4 * 255
+
+    def test_fig6_export(self, tmp_path, tiny_config):
+        result = run_fig6(repetitions=3, config=tiny_config, m0_window_cycles=1024)
+        path = export_fig6_csv(result, tmp_path / "fig6.csv")
+        rows = _read_csv(path)
+        kinds = {row[1] for row in rows[1:]}
+        assert kinds == {"peak", "off_peak"}
+
+    def test_table1_export(self, tmp_path):
+        path = export_table1_csv(run_table1(), tmp_path / "table1.csv")
+        rows = _read_csv(path)
+        assert len(rows) == 5
+        assert rows[1][0] == "0"
+
+    def test_table2_export(self, tmp_path):
+        path = export_table2_csv(run_table2(), tmp_path / "table2.csv")
+        rows = _read_csv(path)
+        assert len(rows) == 7
+        assert rows[4][1] == "576"
+
+
+class TestJsonExport:
+    def test_summary_json(self, tmp_path):
+        path = export_summary_json({"table2": {"headline_reduction": 0.98}}, tmp_path / "summary.json")
+        data = json.loads(path.read_text())
+        assert data["table2"]["headline_reduction"] == 0.98

@@ -1,0 +1,86 @@
+"""Tests for the Fig. 5 and Fig. 6 experiment drivers (reduced length).
+
+The reduced-length runs keep the suite fast; the benchmark harness runs the
+full 300,000-cycle, 100-repetition campaigns.  To keep detection reliable
+at the shorter trace length the tests use a shorter watermark sequence
+(fewer rotations) and correspondingly lower acquisition noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    DetectionConfig,
+    ExperimentConfig,
+    MeasurementConfig,
+    WatermarkConfig,
+)
+from repro.experiments.fig5 import run_fig5, run_fig5_panel
+from repro.experiments.fig6 import run_fig6_chip
+
+
+@pytest.fixture(scope="module")
+def reduced_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        watermark=WatermarkConfig(lfsr_width=9, lfsr_seed=0x1AB),
+        measurement=MeasurementConfig(
+            num_cycles=60_000,
+            transient_noise_floor_w=0.020,
+            transient_noise_fraction=0.4,
+            seed=11,
+        ),
+        detection=DetectionConfig(),
+    )
+
+
+class TestFig5Panels:
+    def test_chip1_active_detected(self, reduced_config):
+        panel = run_fig5_panel("chip1", True, config=reduced_config, m0_window_cycles=2048)
+        assert panel.cpa.detected
+        assert panel.spectrum.has_single_resolvable_peak()
+
+    def test_chip1_inactive_not_detected(self, reduced_config):
+        panel = run_fig5_panel("chip1", False, config=reduced_config, m0_window_cycles=2048)
+        assert not panel.cpa.detected
+        assert abs(panel.cpa.peak_correlation) < 0.02
+
+    def test_peak_appears_at_requested_phase(self, reduced_config):
+        panel = run_fig5_panel(
+            "chip1", True, config=reduced_config, m0_window_cycles=2048, phase_offset=123
+        )
+        assert panel.cpa.peak_rotation == 123
+
+    def test_chip2_peak_lower_than_chip1(self, reduced_config):
+        chip1 = run_fig5_panel("chip1", True, config=reduced_config, m0_window_cycles=2048)
+        chip2 = run_fig5_panel("chip2", True, config=reduced_config, m0_window_cycles=2048)
+        assert chip2.cpa.peak_correlation < chip1.cpa.peak_correlation
+        assert chip2.cpa.detected
+
+    def test_full_figure_runner(self, reduced_config):
+        result = run_fig5(config=reduced_config, m0_window_cycles=2048)
+        assert len(result.panels) == 4
+        assert result.all_active_panels_detected
+        assert result.no_inactive_panel_detected
+        assert "chip1" in result.to_text()
+
+    def test_panel_lookup(self, reduced_config):
+        result = run_fig5(config=reduced_config, m0_window_cycles=2048)
+        panel = result.panel("chip2", watermark_active=False)
+        assert panel.chip_name == "chip2"
+        with pytest.raises(KeyError):
+            result.panel("chip3", True)
+
+
+class TestFig6ReducedCampaign:
+    def test_repeatability_statistics(self, reduced_config):
+        result = run_fig6_chip(
+            "chip1", repetitions=12, config=reduced_config, m0_window_cycles=2048
+        )
+        assert result.statistics.repetitions == 12
+        assert result.detection_rate == 1.0
+        assert result.peak_separated
+        assert result.peak_box.median > result.off_peak_box.median
+
+    def test_invalid_repetitions_rejected(self, reduced_config):
+        with pytest.raises(ValueError):
+            run_fig6_chip("chip1", repetitions=0, config=reduced_config)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.measurement.acquisition."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MeasurementConfig
+from repro.measurement.acquisition import AcquisitionCampaign, MeasuredTrace
+from repro.power.trace import PowerTrace
+from repro.rtl.signals import Clock
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock("clk", 10e6)
+
+
+@pytest.fixture
+def campaign() -> AcquisitionCampaign:
+    return AcquisitionCampaign(MeasurementConfig(num_cycles=2000))
+
+
+def make_power_trace(clock, num_cycles=2000, amplitude=1.5e-3, base=4e-3) -> PowerTrace:
+    wmark = (np.arange(num_cycles) % 63 < 32).astype(float)
+    return PowerTrace("test", clock, base + amplitude * wmark)
+
+
+class TestMeasuredTrace:
+    def test_statistics(self, clock):
+        trace = MeasuredTrace("m", np.array([1.0, 3.0]), MeasurementConfig())
+        assert trace.mean_power_w == pytest.approx(2.0)
+        assert trace.std_power_w == pytest.approx(1.0)
+        assert trace.num_cycles == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MeasuredTrace("m", np.zeros((2, 2)), MeasurementConfig())
+
+
+class TestFastPath:
+    def test_preserves_length_and_mean(self, campaign, clock):
+        power = make_power_trace(clock)
+        measured = campaign.measure(power, seed=1)
+        assert len(measured) == len(power)
+        assert measured.mean_power_w == pytest.approx(power.average_power_w, abs=5e-3)
+
+    def test_reproducible_with_seed(self, campaign, clock):
+        power = make_power_trace(clock)
+        a = campaign.measure(power, seed=3)
+        b = campaign.measure(power, seed=3)
+        assert np.array_equal(a.values, b.values)
+
+    def test_noise_level_matches_model(self, campaign, clock):
+        power = PowerTrace("const", clock, np.full(50_000, 5e-3))
+        measured = campaign.measure(power, seed=0)
+        expected_sigma = campaign.per_cycle_noise_sigma(5e-3, 1e-3)
+        assert measured.std_power_w == pytest.approx(expected_sigma, rel=0.05)
+
+
+class TestDetailedPath:
+    def test_detailed_measurement_runs(self, clock):
+        config = MeasurementConfig(num_cycles=200)
+        campaign = AcquisitionCampaign(config)
+        power = make_power_trace(clock, num_cycles=200)
+        measured = campaign.measure(power, seed=2, detailed=True)
+        assert measured.detailed
+        assert len(measured) == 200
+
+    def test_detailed_and_fast_statistically_consistent(self, clock):
+        config = MeasurementConfig(num_cycles=3000)
+        campaign = AcquisitionCampaign(config)
+        power = PowerTrace("const", clock, np.full(3000, 5e-3))
+        fast = campaign.measure(power, seed=4)
+        detailed = campaign.measure(power, seed=4, detailed=True)
+        # Both paths see the same underlying signal; their means agree within
+        # the statistical uncertainty of a 3,000-cycle average and their noise
+        # levels are of the same order.
+        sigma_of_mean = fast.std_power_w / np.sqrt(len(fast))
+        assert detailed.mean_power_w == pytest.approx(fast.mean_power_w, abs=4 * sigma_of_mean)
+        assert detailed.std_power_w == pytest.approx(fast.std_power_w, rel=0.35)
+
+    def test_pulse_shape_mean_one(self):
+        shape = AcquisitionCampaign._pulse_shape(50)
+        assert shape.mean() == pytest.approx(1.0)
+        assert shape.max() > 1.0
+
+    def test_pulse_shape_invalid(self):
+        with pytest.raises(ValueError):
+            AcquisitionCampaign._pulse_shape(0)
+
+
+class TestCampaigns:
+    def test_repeat_measurements(self, campaign, clock):
+        power = make_power_trace(clock)
+        repetitions = campaign.repeat_measurements(power, repetitions=5, base_seed=10)
+        assert len(repetitions) == 5
+        # Different noise realisations per repetition.
+        assert not np.array_equal(repetitions[0].values, repetitions[1].values)
+
+    def test_repetitions_must_be_positive(self, campaign, clock):
+        with pytest.raises(ValueError):
+            campaign.repeat_measurements(make_power_trace(clock), repetitions=0)

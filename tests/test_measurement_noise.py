@@ -1,0 +1,57 @@
+"""Unit tests for repro.measurement.noise."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.noise import (
+    gaussian_noise,
+    quantization_noise_rms,
+    transient_residual_sigma,
+)
+
+
+class TestGaussianNoise:
+    def test_statistics(self):
+        rng = np.random.default_rng(0)
+        noise = gaussian_noise(rng, rms=2.0, size=200_000)
+        assert noise.mean() == pytest.approx(0.0, abs=0.02)
+        assert noise.std() == pytest.approx(2.0, rel=0.02)
+
+    def test_zero_rms_returns_zeros(self):
+        rng = np.random.default_rng(0)
+        assert np.all(gaussian_noise(rng, 0.0, 10) == 0)
+
+    def test_invalid_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gaussian_noise(rng, -1.0, 10)
+        with pytest.raises(ValueError):
+            gaussian_noise(rng, 1.0, -1)
+
+
+class TestQuantizationNoise:
+    def test_lsb_over_sqrt12(self):
+        assert quantization_noise_rms(1.0, 8) == pytest.approx((1.0 / 256) / np.sqrt(12))
+
+    def test_more_bits_less_noise(self):
+        assert quantization_noise_rms(1.0, 12) < quantization_noise_rms(1.0, 8)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            quantization_noise_rms(0.0, 8)
+        with pytest.raises(ValueError):
+            quantization_noise_rms(1.0, 0)
+
+
+class TestTransientResidual:
+    def test_floor_plus_proportional(self):
+        assert transient_residual_sigma(10e-3, floor_w=0.04, fraction=0.8) == pytest.approx(0.048)
+
+    def test_zero_power_gives_floor(self):
+        assert transient_residual_sigma(0.0, floor_w=0.04, fraction=0.8) == pytest.approx(0.04)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            transient_residual_sigma(-1.0, 0.04, 0.8)
+        with pytest.raises(ValueError):
+            transient_residual_sigma(1.0, -0.04, 0.8)

@@ -1,0 +1,42 @@
+"""Unit tests for repro.measurement.shunt."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.shunt import ShuntResistor
+
+
+class TestShuntResistor:
+    def test_paper_value_default(self):
+        assert ShuntResistor().resistance_ohm == pytest.approx(0.270)
+
+    def test_voltage_from_current(self):
+        shunt = ShuntResistor(resistance_ohm=0.27)
+        voltage = shunt.voltage_from_current(np.array([10e-3]))
+        assert voltage[0] == pytest.approx(2.7e-3)
+
+    def test_current_roundtrip(self):
+        shunt = ShuntResistor(resistance_ohm=0.27)
+        current = np.array([1e-3, 5e-3])
+        recovered = shunt.current_from_voltage(shunt.voltage_from_current(current))
+        assert np.allclose(recovered, current)
+
+    def test_power_from_voltage(self):
+        shunt = ShuntResistor(resistance_ohm=0.27)
+        power = shunt.power_from_voltage(np.array([2.7e-3]), supply_voltage_v=1.2)
+        assert power[0] == pytest.approx(12e-3)
+
+    def test_invalid_supply_rejected(self):
+        with pytest.raises(ValueError):
+            ShuntResistor().power_from_voltage(np.array([1e-3]), supply_voltage_v=0.0)
+
+    def test_dissipation(self):
+        assert ShuntResistor(resistance_ohm=0.27).dissipation_w(10e-3) == pytest.approx(27e-6)
+
+    def test_invalid_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            ShuntResistor(resistance_ohm=0.0)
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            ShuntResistor(tolerance=1.0)

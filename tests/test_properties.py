@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lfsr import LFSR, CircularShiftRegister, max_length_period
+from repro.core.load_circuit import registers_for_load_power
+from repro.analysis.overhead import area_overhead_reduction
+from repro.detection.cpa import pearson_correlation, rotation_correlations
+from repro.power.models import scale_energy_with_voltage
+from repro.rtl.activity import ActivityRecord, ActivityTrace
+from repro.rtl.clock_tree import ClockTree
+from repro.rtl.components import Register
+from repro.rtl.signals import hamming_distance
+
+
+# ---------------------------------------------------------------------------
+# Sequence generators
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(width=st.integers(min_value=2, max_value=12), seed=st.integers(min_value=1, max_value=2**12 - 1))
+def test_lfsr_period_divides_walk_back_to_seed(width, seed):
+    """Any non-zero seed returns to itself after exactly one maximum-length period."""
+    seed &= (1 << width) - 1
+    if seed == 0:
+        seed = 1
+    lfsr = LFSR(width=width, seed=seed)
+    for _ in range(max_length_period(width)):
+        lfsr.step()
+    assert lfsr.state == seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(width=st.integers(min_value=2, max_value=10), seed=st.integers(min_value=1, max_value=1023))
+def test_lfsr_never_reaches_zero_state(width, seed):
+    seed &= (1 << width) - 1
+    if seed == 0:
+        seed = 1
+    lfsr = LFSR(width=width, seed=seed)
+    for _ in range(min(300, max_length_period(width))):
+        lfsr.step()
+        assert lfsr.state != 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    width=st.integers(min_value=2, max_value=16),
+    pattern=st.integers(min_value=0, max_value=2**16 - 1),
+)
+def test_circular_shift_register_preserves_bit_count(width, pattern):
+    csr = CircularShiftRegister(pattern=pattern, width=width)
+    initial_ones = bin(csr.state).count("1")
+    for _ in range(width):
+        csr.step()
+        assert bin(csr.state).count("1") == initial_ones
+    assert csr.state == csr.pattern
+
+
+# ---------------------------------------------------------------------------
+# Activity and power invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=32),
+    old=st.integers(min_value=0, max_value=2**32 - 1),
+    new=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_register_data_toggles_bounded_by_width(width, old, new):
+    register = Register("r", width=width, reset_value=old)
+    activity = register.step(clock_enabled=True, next_value=new)
+    assert 0 <= activity.data_toggles <= width
+    assert activity.clock_toggles == 2 * width
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=2**32 - 1))
+def test_hamming_distance_symmetry_and_identity(a, b):
+    assert hamming_distance(a, b) == hamming_distance(b, a)
+    assert hamming_distance(a, a) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=0, max_value=100),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    reps=st.integers(min_value=1, max_value=4),
+)
+def test_activity_trace_tile_preserves_per_cycle_values(records, reps):
+    trace = ActivityTrace.from_records("t", [ActivityRecord(*r) for r in records])
+    tiled = trace.tile(len(records) * reps)
+    for i in range(len(tiled)):
+        assert tiled[i] == trace[i % len(trace)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(num_sinks=st.integers(min_value=1, max_value=3000), fanout=st.integers(min_value=2, max_value=32))
+def test_clock_tree_toggles_monotonic_in_active_sinks(num_sinks, fanout):
+    tree = ClockTree("t", num_sinks=num_sinks, max_fanout=fanout)
+    previous = 0
+    for active in sorted({0, 1, num_sinks // 2, num_sinks}):
+        toggles = tree.toggles_per_cycle(active)
+        assert toggles >= previous
+        previous = toggles
+    assert tree.toggles_per_cycle(num_sinks) >= 2 * num_sinks
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    energy=st.floats(min_value=1e-18, max_value=1e-9, allow_nan=False),
+    voltage=st.floats(min_value=0.5, max_value=1.3, allow_nan=False),
+)
+def test_voltage_scaling_is_quadratic_and_monotonic(energy, voltage):
+    scaled = scale_energy_with_voltage(energy, voltage, 1.2)
+    assert scaled == pytest.approx(energy * (voltage / 1.2) ** 2)
+    assert (scaled <= energy) == (voltage <= 1.2)
+
+
+# ---------------------------------------------------------------------------
+# Sizing / overhead arithmetic
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(load_power_mw=st.floats(min_value=0.01, max_value=50.0, allow_nan=False))
+def test_load_register_sizing_monotonic_and_consistent(load_power_mw):
+    registers = registers_for_load_power(load_power_mw * 1e-3)
+    assert registers >= 0
+    more = registers_for_load_power(load_power_mw * 2e-3)
+    assert more >= registers
+    reduction = area_overhead_reduction(registers)
+    assert 0.0 <= reduction < 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(registers=st.integers(min_value=0, max_value=100_000))
+def test_area_overhead_reduction_bounded(registers):
+    reduction = area_overhead_reduction(registers)
+    assert 0.0 <= reduction < 1.0
+    # More load registers -> larger reduction from removing them.
+    assert area_overhead_reduction(registers + 1) >= reduction
+
+
+# ---------------------------------------------------------------------------
+# CPA invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    scale=st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    offset=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_pearson_correlation_invariant_to_affine_transform(scale, offset, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=500)
+    y = rng.normal(size=500)
+    base = pearson_correlation(x, y)
+    transformed = pearson_correlation(x, scale * y + offset)
+    assert transformed == pytest.approx(base, abs=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    width=st.integers(min_value=4, max_value=7),
+    rotation=st.integers(min_value=0, max_value=200),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_rotation_correlation_peak_tracks_injected_rotation(width, rotation, seed):
+    rng = np.random.default_rng(seed)
+    sequence = LFSR(width=width, seed=1).sequence()
+    period = len(sequence)
+    rotation %= period
+    num_cycles = period * 30
+    tiled = np.tile(sequence, 31)
+    signal = tiled[rotation : rotation + num_cycles].astype(float)
+    measured = signal + rng.normal(0, 0.3, num_cycles)
+    correlations = rotation_correlations(sequence, measured)
+    assert int(np.argmax(correlations)) == rotation
+    assert np.all(np.abs(correlations) <= 1.0 + 1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_rotation_correlation_fft_equals_naive(seed):
+    rng = np.random.default_rng(seed)
+    sequence = (rng.random(31) < 0.5).astype(float)
+    if sequence.std() == 0:
+        sequence[0] = 1.0 - sequence[0]
+    measured = rng.normal(size=701)
+    assert np.allclose(
+        rotation_correlations(sequence, measured, method="fft"),
+        rotation_correlations(sequence, measured, method="naive"),
+        atol=1e-10,
+    )

@@ -1,0 +1,174 @@
+"""Unit tests for repro.rtl.components."""
+
+import pytest
+
+from repro.rtl.components import (
+    CLOCK_EDGES_PER_CYCLE,
+    ClockBuffer,
+    ClockGate,
+    CombinationalBlock,
+    Register,
+    RegisterBank,
+    ShiftRegister,
+)
+
+
+class TestRegister:
+    def test_clock_gated_register_is_idle(self):
+        register = Register("r", width=8)
+        activity = register.step(clock_enabled=False, next_value=0xFF)
+        assert activity.total_toggles == 0
+        assert register.value == 0
+
+    def test_enabled_register_burns_clock_power_even_when_holding(self):
+        register = Register("r", width=8, reset_value=0x3C)
+        activity = register.step(clock_enabled=True, next_value=None)
+        assert activity.clock_toggles == CLOCK_EDGES_PER_CYCLE * 8
+        assert activity.data_toggles == 0
+        assert register.value == 0x3C
+
+    def test_data_toggles_equal_hamming_distance(self):
+        register = Register("r", width=8, reset_value=0x00)
+        activity = register.step(clock_enabled=True, next_value=0x0F)
+        assert activity.data_toggles == 4
+
+    def test_value_masked_to_width(self):
+        register = Register("r", width=4)
+        register.step(clock_enabled=True, next_value=0xFF)
+        assert register.value == 0xF
+
+    def test_register_counts(self):
+        register = Register("r", width=16)
+        assert register.register_count == 16
+        assert register.cell_count == 16
+
+    def test_reset(self):
+        register = Register("r", width=4, reset_value=0x5)
+        register.step(clock_enabled=True, next_value=0xA)
+        register.reset()
+        assert register.value == 0x5
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            Register("r", width=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Register("", width=1)
+
+
+class TestShiftRegister:
+    def test_alternating_initialisation(self):
+        sr = ShiftRegister("sr", width=8)
+        assert sr.value == 0b10101010
+
+    def test_shift_flips_every_bit(self):
+        sr = ShiftRegister("sr", width=8)
+        activity = sr.shift(enable=True)
+        assert activity.data_toggles == 8
+        assert activity.clock_toggles == CLOCK_EDGES_PER_CYCLE * 8
+
+    def test_disabled_shift_is_idle(self):
+        sr = ShiftRegister("sr", width=8)
+        before = sr.value
+        activity = sr.shift(enable=False)
+        assert activity.total_toggles == 0
+        assert sr.value == before
+
+    def test_circular_shift_returns_after_two_steps(self):
+        sr = ShiftRegister("sr", width=8)
+        initial = sr.value
+        sr.shift(enable=True)
+        sr.shift(enable=True)
+        assert sr.value == initial
+
+
+class TestClockGate:
+    def test_enabled_gate_propagates_clock(self):
+        gate = ClockGate("icg")
+        activity = gate.step(enable=True)
+        assert activity.clock_toggles == CLOCK_EDGES_PER_CYCLE
+        assert gate.clock_out(True) is True
+
+    def test_disabled_gate_stops_clock(self):
+        gate = ClockGate("icg")
+        activity = gate.step(enable=False)
+        assert activity.clock_toggles == 0
+        assert gate.clock_out(False) is False
+
+    def test_enable_change_costs_latch_toggle(self):
+        gate = ClockGate("icg")
+        first = gate.step(enable=True)
+        second = gate.step(enable=True)
+        assert first.comb_toggles == 1
+        assert second.comb_toggles == 0
+
+    def test_reset(self):
+        gate = ClockGate("icg")
+        gate.step(enable=True)
+        gate.reset()
+        assert gate.enabled is False
+
+
+class TestClockBuffer:
+    def test_active_branch_toggles_twice(self):
+        buffer = ClockBuffer("buf", fanout=4)
+        assert buffer.step(branch_active=True).clock_toggles == CLOCK_EDGES_PER_CYCLE
+
+    def test_inactive_branch_idle(self):
+        buffer = ClockBuffer("buf")
+        assert buffer.step(branch_active=False).total_toggles == 0
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            ClockBuffer("buf", fanout=0)
+
+
+class TestCombinationalBlock:
+    def test_activity_factor_estimate(self):
+        block = CombinationalBlock("comb", gate_count=100, activity_factor=0.25)
+        assert block.step().comb_toggles == 25
+
+    def test_explicit_toggle_count_overrides(self):
+        block = CombinationalBlock("comb", gate_count=100)
+        assert block.step(toggles=7).comb_toggles == 7
+
+    def test_inactive_block_idle(self):
+        block = CombinationalBlock("comb", gate_count=100)
+        assert block.step(active=False).total_toggles == 0
+
+    def test_invalid_activity_factor_rejected(self):
+        with pytest.raises(ValueError):
+            CombinationalBlock("comb", gate_count=4, activity_factor=1.5)
+
+
+class TestRegisterBank:
+    def test_paper_geometry(self):
+        bank = RegisterBank("bank", num_words=32, word_width=32)
+        assert bank.total_registers == 1024
+        assert len(bank.clock_gates) == 32
+
+    def test_disabled_bank_is_idle(self):
+        bank = RegisterBank("bank", num_words=4, word_width=8)
+        assert bank.step(enable=False).total_toggles == 0
+
+    def test_enabled_bank_clock_power(self):
+        bank = RegisterBank("bank", num_words=4, word_width=8, switching_registers=0)
+        activity = bank.step(enable=True)
+        assert activity.clock_toggles >= CLOCK_EDGES_PER_CYCLE * 32
+        assert activity.data_toggles == 0
+
+    def test_switching_registers_add_data_toggles(self):
+        bank = RegisterBank("bank", num_words=4, word_width=8, switching_registers=16)
+        activity = bank.step(enable=True)
+        assert activity.data_toggles == 16
+
+    def test_switching_register_bound_validated(self):
+        with pytest.raises(ValueError):
+            RegisterBank("bank", num_words=2, word_width=8, switching_registers=17)
+
+    def test_reset_restores_contents(self):
+        bank = RegisterBank("bank", num_words=2, word_width=8, switching_registers=16)
+        bank.step(enable=True)
+        bank.reset()
+        assert all(word.value == 0 for word in bank.words)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.rtl.simulator."""
+
+import pytest
+
+from repro.rtl.activity import ActivityRecord
+from repro.rtl.components import Register, ShiftRegister
+from repro.rtl.signals import Clock
+from repro.rtl.simulator import CycleSimulator
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock("clk", 10e6)
+
+
+class TestCycleSimulator:
+    def test_requires_blocks(self, clock):
+        simulator = CycleSimulator(clock)
+        with pytest.raises(ValueError):
+            simulator.run(10)
+
+    def test_requires_positive_cycles(self, clock):
+        simulator = CycleSimulator(clock)
+        simulator.add_block("a", lambda cycle: ActivityRecord())
+        with pytest.raises(ValueError):
+            simulator.run(0)
+
+    def test_duplicate_block_rejected(self, clock):
+        simulator = CycleSimulator(clock)
+        simulator.add_block("a", lambda cycle: ActivityRecord())
+        with pytest.raises(ValueError):
+            simulator.add_block("a", lambda cycle: ActivityRecord())
+
+    def test_traces_have_requested_length(self, clock):
+        simulator = CycleSimulator(clock)
+        simulator.add_block("a", lambda cycle: ActivityRecord(clock_toggles=2))
+        result = simulator.run(25)
+        assert result.num_cycles == 25
+        assert len(result.trace("a")) == 25
+        assert result.duration_s == pytest.approx(25 * 100e-9)
+
+    def test_cycle_index_passed_to_blocks(self, clock):
+        seen = []
+        simulator = CycleSimulator(clock)
+        simulator.add_block("a", lambda cycle: (seen.append(cycle), ActivityRecord())[1])
+        simulator.run(5)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_combined_trace_sums_blocks(self, clock):
+        simulator = CycleSimulator(clock)
+        simulator.add_block("a", lambda cycle: ActivityRecord(clock_toggles=1))
+        simulator.add_block("b", lambda cycle: ActivityRecord(data_toggles=2))
+        result = simulator.run(4)
+        combined = result.combined_trace()
+        assert combined[0] == ActivityRecord(clock_toggles=1, data_toggles=2)
+
+    def test_trace_lookup_error(self, clock):
+        simulator = CycleSimulator(clock)
+        simulator.add_block("a", lambda cycle: ActivityRecord())
+        result = simulator.run(2)
+        with pytest.raises(KeyError):
+            result.trace("missing")
+
+    def test_reset_hooks_invoked(self, clock):
+        register = ShiftRegister("sr", width=8)
+        simulator = CycleSimulator(clock)
+        simulator.add_block("sr", lambda cycle: register.shift(enable=True), reset=register.reset)
+        simulator.run(3)
+        assert register.value != 0b10101010  # odd number of shifts inverts the pattern
+        simulator.reset()
+        assert register.value == 0b10101010
+
+    def test_run_with_reset_first(self, clock):
+        register = Register("r", width=4, reset_value=0x5)
+        simulator = CycleSimulator(clock)
+        simulator.add_block(
+            "r", lambda cycle: register.step(clock_enabled=True, next_value=cycle & 0xF), reset=register.reset
+        )
+        simulator.run(3)
+        result = simulator.run(3, reset_first=True)
+        assert result.num_cycles == 3
+
+    def test_block_names_sorted(self, clock):
+        simulator = CycleSimulator(clock)
+        simulator.add_block("z", lambda cycle: ActivityRecord())
+        simulator.add_block("a", lambda cycle: ActivityRecord())
+        assert simulator.block_names == ["a", "z"]

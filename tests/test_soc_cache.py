@@ -1,0 +1,87 @@
+"""Unit tests for repro.soc.cache."""
+
+import pytest
+
+from repro.soc.cache import Cache, CacheConfig
+
+
+class TestCacheConfig:
+    def test_default_geometry(self):
+        config = CacheConfig()
+        assert config.size_bytes == 16 * 1024
+        assert config.num_sets * config.associativity * config.line_bytes == config.size_bytes
+        assert config.num_lines == config.num_sets * config.associativity
+
+    def test_tag_bits_positive(self):
+        assert CacheConfig().tag_bits > 0
+
+    def test_storage_bits_scale_with_size(self):
+        small = CacheConfig(size_bytes=8 * 1024)
+        large = CacheConfig(size_bytes=32 * 1024)
+        assert large.storage_bits > small.storage_bits
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=32, associativity=4)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+
+class TestCacheBehaviour:
+    def test_first_access_misses_then_hits(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2))
+        hit, _ = cache.lookup(0x1000)
+        assert not hit
+        hit, _ = cache.lookup(0x1000)
+        assert hit
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_word_hits(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2))
+        cache.lookup(0x2000)
+        hit, _ = cache.lookup(0x2004)
+        assert hit
+
+    def test_lru_eviction(self):
+        config = CacheConfig(size_bytes=256, line_bytes=32, associativity=2)
+        cache = Cache(config)
+        set_stride = config.num_sets * config.line_bytes
+        cache.lookup(0x0)                 # way 0
+        cache.lookup(set_stride)          # way 1
+        cache.lookup(0x0)                 # refresh way 0
+        cache.lookup(2 * set_stride)      # evicts the LRU line (set_stride)
+        assert cache.stats.evictions == 1
+        hit, _ = cache.lookup(0x0)
+        assert hit
+        hit, _ = cache.lookup(set_stride)
+        assert not hit
+
+    def test_miss_activity_exceeds_hit_activity(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2))
+        _, miss_activity = cache.lookup(0x3000)
+        _, hit_activity = cache.lookup(0x3000)
+        assert miss_activity.data_toggles > hit_activity.data_toggles
+
+    def test_no_allocate_mode(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2))
+        cache.lookup(0x4000, allocate=False)
+        hit, _ = cache.lookup(0x4000)
+        assert not hit
+
+    def test_hit_rate(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2))
+        assert cache.stats.hit_rate == 0.0
+        cache.lookup(0x0)
+        cache.lookup(0x0)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_flush_keeps_stats_reset_clears_them(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2))
+        cache.lookup(0x0)
+        cache.flush()
+        assert cache.stats.misses == 1
+        hit, _ = cache.lookup(0x0)
+        assert not hit
+        cache.reset()
+        assert cache.stats.accesses == 0

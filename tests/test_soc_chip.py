@@ -1,0 +1,97 @@
+"""Unit tests for repro.soc.chip."""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import ClockModulationWatermark
+from repro.core.config import WatermarkConfig
+from repro.soc.chip import ChipDescription, ChipModel, build_chip_one, build_chip_two
+
+
+@pytest.fixture(scope="module")
+def small_watermark():
+    config = WatermarkConfig(lfsr_width=8, lfsr_seed=0x2D, num_words=8, word_width=16)
+    return ClockModulationWatermark.from_config(config)
+
+
+@pytest.fixture(scope="module")
+def chip1(small_watermark):
+    return build_chip_one(watermark=small_watermark, m0_window_cycles=1024)
+
+
+@pytest.fixture(scope="module")
+def chip2(small_watermark):
+    return build_chip_two(watermark=small_watermark, m0_window_cycles=1024)
+
+
+class TestChipDescription:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChipDescription(name="x", has_a5_subsystem=False, m0_window_cycles=0)
+        with pytest.raises(ValueError):
+            ChipDescription(name="x", has_a5_subsystem=False, sram_bytes=0)
+
+
+class TestChipComposition:
+    def test_chip1_has_no_a5(self, chip1):
+        assert chip1.a5_subsystem is None
+        assert chip1.name == "chip1"
+
+    def test_chip2_has_a5(self, chip2):
+        assert chip2.a5_subsystem is not None
+        assert chip2.name == "chip2"
+
+    def test_chip2_has_more_registers(self, chip1, chip2):
+        assert chip2.system_register_count() > chip1.system_register_count()
+
+    def test_watermark_sequence_exposed(self, chip1):
+        assert len(chip1.watermark_sequence()) == 255
+
+    def test_chip_without_watermark_raises(self):
+        chip = build_chip_one(watermark=None, m0_window_cycles=512)
+        with pytest.raises(ValueError):
+            chip.watermark_power(100)
+        with pytest.raises(ValueError):
+            chip.watermark_sequence()
+
+
+class TestActivityAndPower:
+    def test_m0_activity_window_tiling(self, chip1):
+        trace = chip1.m0_activity(3000, seed=1)
+        assert len(trace) == 3000
+        assert trace.total_toggles.min() > 0
+
+    def test_background_activity_contributors(self, chip1, chip2):
+        traces1 = chip1.background_activity(500)
+        traces2 = chip2.background_activity(500)
+        assert set(traces1) == {"m0", "peripherals"}
+        assert set(traces2) == {"m0", "peripherals", "a5"}
+
+    def test_background_power_chip2_higher(self, chip1, chip2):
+        p1 = chip1.background_power(500, seed=3)
+        p2 = chip2.background_power(500, seed=3)
+        assert p2.average_power_w > p1.average_power_w
+
+    def test_total_power_with_watermark_is_higher(self, chip1):
+        with_wm = chip1.total_power(500, watermark_active=True, seed=4)
+        without = chip1.total_power(500, watermark_active=False, seed=4)
+        assert with_wm.average_power_w > without.average_power_w
+
+    def test_watermark_phase_offset_rolls_modulation(self, chip1):
+        period = len(chip1.watermark_sequence())
+        base = chip1.total_power(2 * period, watermark_active=True, seed=5, watermark_phase_offset=0)
+        shifted = chip1.total_power(2 * period, watermark_active=True, seed=5, watermark_phase_offset=10)
+        background = chip1.total_power(2 * period, watermark_active=False, seed=5)
+        wm_base = base.power_w - background.power_w
+        wm_shifted = shifted.power_w - background.power_w
+        assert np.allclose(np.roll(wm_base, -10)[:period], wm_shifted[:period], atol=1e-12)
+
+    def test_background_power_reproducible_for_same_seed(self, chip1):
+        a = chip1.background_power(400, seed=11)
+        b = chip1.background_power(400, seed=11)
+        assert np.array_equal(a.power_w, b.power_w)
+
+    def test_background_power_realistic_magnitude(self, chip1):
+        power = chip1.background_power(500, seed=2)
+        # A 65 nm microcontroller SoC at 10 MHz: single-digit milliwatts.
+        assert 0.5e-3 < power.average_power_w < 20e-3

@@ -1,0 +1,71 @@
+"""Unit tests for repro.soc.structure."""
+
+import pytest
+
+from repro.rtl.components import ClockGate
+from repro.soc.structure import (
+    DEFAULT_SOC_BLOCKS,
+    IPBlockSpec,
+    build_ip_block,
+    build_soc_structure,
+    clock_gate_paths,
+)
+
+
+class TestIPBlockSpec:
+    def test_register_count(self):
+        spec = IPBlockSpec(name="x", num_words=4, word_width=16)
+        assert spec.register_count == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IPBlockSpec(name="x", num_words=0)
+
+
+class TestBuildIPBlock:
+    def test_contains_clock_gates_and_registers(self):
+        block = build_ip_block(IPBlockSpec(name="blk", num_words=8, word_width=8))
+        gates = [c for c in block.components.values() if isinstance(c, ClockGate)]
+        assert len(gates) == 2  # 8 words, 4 words per gate
+        assert block.register_count == 64
+
+    def test_flattenable(self):
+        block = build_ip_block(IPBlockSpec(name="blk", num_words=4, word_width=8))
+        netlist = block.flatten()
+        assert len(netlist) == len(block.components)
+        # Every register is driven by a clock gate.
+        for name in netlist.component_names():
+            if netlist.component(name).cell_type == "dff":
+                assert any("icg" in p for p in netlist.fan_in(name))
+
+
+class TestBuildSoCStructure:
+    def test_default_blocks_present(self):
+        soc = build_soc_structure()
+        assert set(soc.children) == {spec.name for spec in DEFAULT_SOC_BLOCKS}
+
+    def test_register_count_reasonable(self):
+        soc = build_soc_structure()
+        assert soc.register_count > 1000
+
+    def test_flatten_is_connected_design(self):
+        netlist = build_soc_structure().flatten()
+        clusters = netlist.weakly_connected_clusters()
+        assert len(clusters) == 1  # the functional SoC is one connected design
+
+    def test_empty_block_list_rejected(self):
+        with pytest.raises(ValueError):
+            build_soc_structure(blocks=[])
+
+    def test_custom_blocks(self):
+        soc = build_soc_structure(blocks=[IPBlockSpec(name="only", num_words=2, word_width=8)])
+        assert list(soc.children) == ["only"]
+
+
+class TestClockGatePaths:
+    def test_paths_resolve_to_clock_gates(self):
+        soc = build_soc_structure()
+        paths = clock_gate_paths(soc)
+        assert len(paths) > 5
+        for path in paths:
+            assert isinstance(soc.find(path), ClockGate)
