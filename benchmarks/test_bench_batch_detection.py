@@ -1,0 +1,156 @@
+"""Benchmark: batched CPA campaign vs the per-trial detection loop.
+
+The batched engine folds the whole trial matrix by phase and evaluates all
+rotation correlations with one stack of rFFTs; before it landed, every
+Monte-Carlo trial paid a full Python round trip through per-trace folding
+(`np.arange` + modulo + `np.bincount` per trial).  This benchmark pins the
+speedup at the campaign scale named in the engine's acceptance criteria --
+period 255, 100,000 cycles, 50 trials -- and checks that the batched path
+reaches the *same detection decisions bit for bit* as looping the live
+single-trace detector over the rows.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.lfsr import LFSR
+from repro.detection.batch import BatchCPADetector
+from repro.detection.cpa import CPADetector
+
+PERIOD_WIDTH = 8  # 2**8 - 1 = 255 rotations
+NUM_CYCLES = 100_000
+NUM_TRIALS = 50
+MIN_SPEEDUP = 5.0
+# Shared CI runners can be throttled enough to make any wall-clock ratio
+# flaky; REPRO_BENCH_RELAXED=1 keeps the benchmark report-only there while
+# local / dedicated runs still enforce the floor.
+RELAXED = os.environ.get("REPRO_BENCH_RELAXED") == "1"
+
+
+def _per_trial_reference(sequence: np.ndarray, trace_matrix: np.ndarray, detector: CPADetector):
+    """The detection loop as it ran before the batched engine.
+
+    One fold (`np.arange` + modulo + `np.bincount`) and one correlation
+    spectrum per trial -- the exact algorithm the single-trace detector used
+    when campaigns looped over `CPADetector.detect`.
+    """
+    period = len(sequence)
+    x = np.asarray(sequence, dtype=np.float64)
+    fft_x = np.fft.rfft(x)
+    results = []
+    for measured in trace_matrix:
+        n = len(measured)
+        phases = np.arange(n) % period
+        folded = np.bincount(phases, weights=measured, minlength=period)
+        counts = np.bincount(phases, minlength=period).astype(np.float64)
+        sum_y = float(measured.sum())
+        sum_yy = float(measured @ measured)
+        var_y = n * sum_yy - sum_y * sum_y
+        s_xy = np.fft.irfft(np.conj(np.fft.rfft(folded)) * fft_x, n=period)
+        s_x = np.fft.irfft(np.conj(np.fft.rfft(counts)) * fft_x, n=period)
+        numerator = n * s_xy - s_x * sum_y
+        var_x = n * s_x - s_x * s_x  # 0/1 sequence: S_xx == S_x
+        denominator = np.sqrt(np.clip(var_x, 0.0, None)) * np.sqrt(max(var_y, 0.0))
+        correlations = np.zeros(period, dtype=np.float64)
+        valid = denominator > 0
+        correlations[valid] = numerator[valid] / denominator[valid]
+        results.append(detector.evaluate(correlations))
+    return results
+
+
+def _trial_matrix(sequence: np.ndarray, seed: int = 2024) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    period = len(sequence)
+    offsets = rng.integers(0, period, size=NUM_TRIALS)
+    phase_index = (offsets[:, None] + np.arange(NUM_CYCLES)[None, :]) % period
+    return (
+        5e-3
+        + sequence[phase_index] * 1.5e-3
+        + rng.normal(0.0, 20e-3, size=(NUM_TRIALS, NUM_CYCLES))
+    )
+
+
+def test_bench_batch_detection_speedup(benchmark, report):
+    sequence = LFSR(width=PERIOD_WIDTH, seed=0x2D).sequence().astype(np.float64)
+    trace_matrix = _trial_matrix(sequence)
+    single = CPADetector()
+    batched = BatchCPADetector()
+
+    # Warm-up both paths (allocator, FFT plan caches).
+    reference = _per_trial_reference(sequence, trace_matrix[:2], single)
+    batched.detect_many(sequence, trace_matrix[:2])
+
+    loop_times, batch_times = [], []
+    for _ in range(3):
+        start = time.perf_counter()
+        reference = _per_trial_reference(sequence, trace_matrix, single)
+        loop_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        batch = batched.detect_many(sequence, trace_matrix)
+        batch_times.append(time.perf_counter() - start)
+
+    loop_s = min(loop_times)
+    batch_s = min(batch_times)
+    speedup = loop_s / batch_s
+
+    # Identical decisions, three ways: batched vs the pre-engine reference
+    # loop (same counts) and vs looping the live detector (bit-identical).
+    reference_detected = np.array([r.detected for r in reference])
+    live = [single.detect(sequence, row) for row in trace_matrix]
+    assert batch.detection_count == int(np.count_nonzero(reference_detected))
+    for index, result in enumerate(live):
+        assert bool(batch.detected[index]) == result.detected
+        assert int(batch.peak_rotations[index]) == result.peak_rotation
+        assert np.array_equal(batch.correlations[index], result.correlations)
+
+    report(
+        f"Batched CPA detection ({NUM_TRIALS} trials x {NUM_CYCLES:,} cycles, period "
+        f"{len(sequence)})",
+        "\n".join(
+            [
+                f"per-trial loop (pre-engine algorithm): {loop_s * 1e3:8.1f} ms",
+                f"batched detect_many:                   {batch_s * 1e3:8.1f} ms",
+                f"speedup:                               {speedup:8.1f}x (floor {MIN_SPEEDUP}x)",
+                f"detections (batched == loop):          {batch.detection_count}"
+                f" == {int(np.count_nonzero(reference_detected))}",
+            ]
+        ),
+    )
+    if not RELAXED:
+        assert speedup >= MIN_SPEEDUP, (
+            f"batched campaign only {speedup:.1f}x faster than the per-trial loop "
+            f"(expected >= {MIN_SPEEDUP}x)"
+        )
+
+    # Register the batched path with the benchmark harness.
+    benchmark.pedantic(
+        batched.detect_many, args=(sequence, trace_matrix), rounds=3, iterations=1
+    )
+
+
+def test_bench_batched_campaign_memory_chunking(report):
+    """Chunked campaign (bounded memory) reaches identical detection counts."""
+    from repro.detection.campaign import run_detection_probability_campaign
+
+    sequence = LFSR(width=PERIOD_WIDTH, seed=0x2D).sequence()
+    kwargs = dict(
+        watermark_amplitude_w=1.5e-3,
+        noise_sigma_w=20e-3,
+        cycle_counts=(NUM_CYCLES,),
+        trials_per_point=20,
+        seed=7,
+    )
+    full = run_detection_probability_campaign(sequence, **kwargs)
+    chunked = run_detection_probability_campaign(
+        sequence, max_trials_per_chunk=4, chunk_cycles=16_384, **kwargs
+    )
+    assert [p.detections for p in full.points] == [p.detections for p in chunked.points]
+    report(
+        "Batched campaign chunk invariance",
+        f"detections full={full.points[0].detections} "
+        f"chunked={chunked.points[0].detections} (20 trials, {NUM_CYCLES:,} cycles)",
+    )

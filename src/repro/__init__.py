@@ -45,7 +45,7 @@ from repro.core import (
     ExperimentConfig,
     WatermarkGenerationCircuit,
 )
-from repro.detection import CPADetector, SpreadSpectrum
+from repro.detection import BatchCPADetector, CPADetector, SpreadSpectrum
 from repro.measurement import AcquisitionCampaign
 from repro.power import PowerEstimator
 from repro.soc import build_chip_one, build_chip_two
@@ -62,6 +62,7 @@ __all__ = [
     "ExperimentConfig",
     "WatermarkGenerationCircuit",
     "CPADetector",
+    "BatchCPADetector",
     "SpreadSpectrum",
     "AcquisitionCampaign",
     "PowerEstimator",

@@ -7,8 +7,18 @@ from repro.analysis.overhead import (
     area_overhead_reduction,
     load_circuit_overhead_table,
 )
-from repro.analysis.attacks import RemovalAttack, AttackOutcome, find_standalone_clusters
-from repro.analysis.robustness import RobustnessAssessment, assess_robustness
+from repro.analysis.attacks import (
+    AttackOutcome,
+    MaskingAttack,
+    RemovalAttack,
+    find_standalone_clusters,
+)
+from repro.analysis.robustness import (
+    DetectionRobustnessAssessment,
+    RobustnessAssessment,
+    assess_detection_robustness,
+    assess_robustness,
+)
 from repro.analysis.masking import (
     MaskingPoint,
     MaskingStudy,
@@ -36,8 +46,11 @@ __all__ = [
     "area_overhead_reduction",
     "load_circuit_overhead_table",
     "RemovalAttack",
+    "MaskingAttack",
     "AttackOutcome",
     "find_standalone_clusters",
     "RobustnessAssessment",
+    "DetectionRobustnessAssessment",
     "assess_robustness",
+    "assess_detection_robustness",
 ]

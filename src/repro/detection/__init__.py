@@ -5,8 +5,32 @@ Implements Section III of the paper: the measured per-cycle power vector
 watermark model sequence ``X``; the resulting spread spectrum of
 correlation coefficients exhibits a single resolvable peak if (and only if)
 the watermark is present and active.
+
+Two detector front-ends share one implementation:
+
+* :class:`CPADetector` -- the single-trace API of the paper
+  (``detect(sequence, measured) -> CPAResult``).
+* :class:`BatchCPADetector` -- the batched engine
+  (``detect_many(sequences, trace_matrix) -> BatchCPAResult``): an entire
+  Monte-Carlo campaign (``trials x cycles`` trace matrix) is folded by
+  phase and correlated with one stack of rFFTs, and the detection decision
+  (peak, off-peak noise floor, z-score, uniqueness) is vectorized across
+  trials.  A batch of one is bit-identical to ``CPADetector.detect``.
+  ``max_trials_per_chunk`` / ``chunk_cycles`` bound memory for very long
+  sweeps.  :func:`batch_rotation_correlations` exposes the raw batched
+  correlation spectra; :func:`fold_by_phase` the underlying phase fold.
+
+Campaign-scale consumers (:func:`run_detection_probability_campaign`, the
+Fig. 6 repetition study, the masking/robustness sweeps) all route their
+trials through the batched engine.
 """
 
+from repro.detection.batch import (
+    BatchCPADetector,
+    BatchCPAResult,
+    batch_rotation_correlations,
+    fold_by_phase,
+)
 from repro.detection.cpa import (
     CPADetector,
     CPAResult,
@@ -36,6 +60,10 @@ __all__ = [
     "DetectionOperatingPoint",
     "DetectionProbabilityCurve",
     "run_detection_probability_campaign",
+    "BatchCPADetector",
+    "BatchCPAResult",
+    "batch_rotation_correlations",
+    "fold_by_phase",
     "CPADetector",
     "CPAResult",
     "pearson_correlation",

@@ -15,6 +15,11 @@ Two evaluation strategies are provided:
   rotation correlations are obtained with one circular cross-correlation
   via FFT, O(N + period log period).  Numerically identical to the naive
   method up to floating-point rounding.
+
+The FFT path and the detection decision are implemented once, in the
+batched engine (:mod:`repro.detection.batch`); this module's single-trace
+API delegates to it with a batch of one, so ``CPADetector.detect`` is
+bit-identical to row ``i`` of ``BatchCPADetector.detect_many``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import DetectionConfig
+from repro.detection.batch import BatchCPADetector, batch_rotation_correlations
 
 
 def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
@@ -71,38 +77,8 @@ def _rotation_correlations_naive(sequence: np.ndarray, measured: np.ndarray) -> 
 
 
 def _rotation_correlations_fft(sequence: np.ndarray, measured: np.ndarray) -> np.ndarray:
-    period = len(sequence)
-    n = len(measured)
-    x = np.asarray(sequence, dtype=np.float64)
-
-    # Fold the measured vector by phase within the watermark period.
-    phases = np.arange(n) % period
-    folded_sum = np.bincount(phases, weights=measured, minlength=period)
-    counts = np.bincount(phases, minlength=period).astype(np.float64)
-
-    sum_y = float(measured.sum())
-    sum_yy = float(measured @ measured)
-    var_y = n * sum_yy - sum_y * sum_y
-
-    # For rotation r the tiled model at cycle i is x[(i + r) mod period], so
-    #   S_xy(r)  = sum_p folded_sum[p] * x[(p + r) mod period]
-    #   S_x(r)   = sum_p counts[p]     * x[(p + r) mod period]
-    #   S_xx(r)  = S_x(r)                     (x is 0/1 valued)
-    fft_x = np.fft.rfft(x)
-    s_xy = np.fft.irfft(np.conj(np.fft.rfft(folded_sum)) * fft_x, n=period)
-    s_x = np.fft.irfft(np.conj(np.fft.rfft(counts)) * fft_x, n=period)
-    if np.all(np.isin(np.unique(x), (0.0, 1.0))):
-        s_xx = s_x
-    else:
-        s_xx = np.fft.irfft(np.conj(np.fft.rfft(counts)) * np.fft.rfft(x * x), n=period)
-
-    numerator = n * s_xy - s_x * sum_y
-    var_x = n * s_xx - s_x * s_x
-    denominator = np.sqrt(np.clip(var_x, 0.0, None)) * np.sqrt(max(var_y, 0.0))
-    correlations = np.zeros(period, dtype=np.float64)
-    valid = denominator > 0
-    correlations[valid] = numerator[valid] / denominator[valid]
-    return correlations
+    # One code path for single and batched detection: a batch of one.
+    return batch_rotation_correlations(sequence, measured[None, :], method="fft")[0]
 
 
 def rotation_correlations(
@@ -158,10 +134,14 @@ class CPAResult:
     def summary(self) -> str:
         """One-line human-readable summary."""
         status = "DETECTED" if self.detected else "not detected"
+        if np.isinf(self.z_score):
+            z_text = "z=inf (zero noise floor)"
+        else:
+            z_text = f"z={self.z_score:.1f}"
         return (
             f"{status}: peak rho={self.peak_correlation:.4f} at rotation "
             f"{self.peak_rotation}, noise sigma={self.noise_floor_std:.4f}, "
-            f"z={self.z_score:.1f}"
+            f"{z_text}"
         )
 
 
@@ -186,35 +166,14 @@ class CPADetector:
         return self.evaluate(correlations)
 
     def evaluate(self, correlations: np.ndarray) -> CPAResult:
-        """Apply the detection decision to a precomputed correlation spectrum."""
+        """Apply the detection decision to a precomputed correlation spectrum.
+
+        Delegates to the batched engine with a batch of one, so the result is
+        bit-identical to the corresponding row of
+        :meth:`repro.detection.batch.BatchCPADetector.evaluate_many`.
+        """
         correlations = np.asarray(correlations, dtype=np.float64)
-        if len(correlations) < 3:
-            raise ValueError("need at least three rotations to evaluate detection")
-        peak_rotation = int(np.argmax(np.abs(correlations)))
-        peak_value = float(correlations[peak_rotation])
-
-        off_peak = np.delete(correlations, peak_rotation)
-        noise_std = float(np.std(off_peak))
-        noise_mean = float(np.mean(off_peak))
-        second_peak = float(off_peak[np.argmax(np.abs(off_peak))])
-
-        if noise_std == 0.0:
-            z_score = np.inf if abs(peak_value) > 0 else 0.0
-        else:
-            z_score = (abs(peak_value) - abs(noise_mean)) / noise_std
-        threshold = self.config.detection_threshold
-        if abs(peak_value) > 0:
-            unique = abs(second_peak) <= self.config.uniqueness_margin * abs(peak_value)
-        else:
-            unique = False
-        detected = bool(z_score >= threshold and unique and peak_value > 0)
-        return CPAResult(
-            correlations=correlations,
-            peak_rotation=peak_rotation,
-            peak_correlation=peak_value,
-            noise_floor_std=noise_std,
-            second_peak_correlation=second_peak,
-            z_score=float(z_score),
-            detected=detected,
-            threshold=threshold,
-        )
+        if correlations.ndim != 1:
+            raise ValueError("the correlation spectrum must be one-dimensional")
+        batch = BatchCPADetector(self.config).evaluate_many(correlations[None, :])
+        return batch.result(0)

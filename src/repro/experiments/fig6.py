@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.config import ExperimentConfig
-from repro.detection.cpa import CPADetector
+from repro.detection.batch import BatchCPADetector
 from repro.detection.statistics import BoxPlotStats, RepetitionStatistics
 from repro.experiments.common import build_chip
 from repro.experiments.fig5 import _PAPER_PHASE_FRACTION
@@ -94,10 +94,19 @@ def run_fig6_chip(
     config: Optional[ExperimentConfig] = None,
     base_seed: int = 1000,
     m0_window_cycles: int = 16_384,
+    max_repetitions_per_batch: int = 25,
 ) -> Fig6ChipResult:
-    """Run the repeated-measurement campaign for one chip."""
+    """Run the repeated-measurement campaign for one chip.
+
+    The repeated acquisitions are detected in batches of
+    ``max_repetitions_per_batch`` traces: the measurement noise differs per
+    repetition, but all repetitions share one CPA pass per batch, which
+    bounds the trace-matrix memory at full paper scale (300,000 cycles).
+    """
     if repetitions <= 0:
         raise ValueError("repetitions must be positive")
+    if max_repetitions_per_batch <= 0:
+        raise ValueError("max_repetitions_per_batch must be positive")
     config = config or ExperimentConfig.paper_defaults()
     chip = build_chip(chip_name, config=config, m0_window_cycles=m0_window_cycles)
     num_cycles = config.measurement.num_cycles
@@ -110,16 +119,19 @@ def run_fig6_chip(
         num_cycles, watermark_active=True, seed=base_seed, watermark_phase_offset=phase_offset
     )
     campaign = AcquisitionCampaign(config.measurement)
-    detector = CPADetector(config.detection)
+    detector = BatchCPADetector(config.detection)
     sequence = chip.watermark_sequence()
 
     runs: List[np.ndarray] = []
     detections: List[bool] = []
-    for repetition in range(repetitions):
-        measured = campaign.measure(power, seed=base_seed + repetition)
-        cpa = detector.detect(sequence, measured.values)
-        runs.append(cpa.correlations)
-        detections.append(cpa.detected)
+    for start in range(0, repetitions, max_repetitions_per_batch):
+        stop = min(repetitions, start + max_repetitions_per_batch)
+        trace_matrix = np.empty((stop - start, num_cycles), dtype=np.float64)
+        for row, repetition in enumerate(range(start, stop)):
+            trace_matrix[row] = campaign.measure(power, seed=base_seed + repetition).values
+        batch = detector.detect_many(sequence, trace_matrix)
+        runs.extend(batch.correlations)
+        detections.extend(bool(flag) for flag in batch.detected)
 
     statistics = RepetitionStatistics.from_correlation_runs(
         chip_name, runs, detected_flags=detections

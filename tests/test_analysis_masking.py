@@ -79,3 +79,71 @@ class TestStarvationStudy:
     def test_invalid_duty_rejected(self, sequence):
         with pytest.raises(ValueError):
             run_starvation_study(sequence, enable_duties=(1.5,), num_cycles=2000)
+
+
+class TestMonteCarloMasking:
+    def test_multiple_trials_per_point(self, sequence):
+        study = run_noise_masking_study(
+            sequence,
+            watermark_amplitude_w=1.5e-3,
+            base_noise_sigma_w=30e-3,
+            masking_noise_levels_w=(0.0, 500e-3),
+            num_cycles=60_000,
+            seed=5,
+            trials_per_point=4,
+        )
+        for point in study.points:
+            assert point.trials == 4
+            assert 0 <= point.detections <= 4
+            assert point.detection_probability == point.detections / 4
+        assert study.points[0].detection_probability == 1.0
+        assert study.points[-1].detection_probability < 1.0
+
+    def test_single_trial_point_probability(self, sequence):
+        study = run_starvation_study(
+            sequence,
+            watermark_amplitude_w=1.5e-3,
+            base_noise_sigma_w=30e-3,
+            enable_duties=(1.0,),
+            num_cycles=60_000,
+            seed=6,
+        )
+        point = study.points[0]
+        assert point.trials == 1
+        assert point.detection_probability in (0.0, 1.0)
+        assert point.detection_probability == float(point.detected)
+
+    def test_invalid_trials_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            run_noise_masking_study(sequence, num_cycles=2000, trials_per_point=0)
+        with pytest.raises(ValueError):
+            run_starvation_study(sequence, num_cycles=2000, trials_per_point=-1)
+
+    def test_chunking_does_not_change_outcomes(self, sequence):
+        kwargs = dict(
+            watermark_amplitude_w=1.5e-3,
+            base_noise_sigma_w=30e-3,
+            masking_noise_levels_w=(0.0, 60e-3, 500e-3),
+            num_cycles=30_000,
+            seed=8,
+            trials_per_point=3,
+        )
+        full = run_noise_masking_study(sequence, **kwargs)
+        chunked = run_noise_masking_study(sequence, max_trials_per_chunk=2, **kwargs)
+        for a, b in zip(full.points, chunked.points):
+            assert a.detections == b.detections
+            assert a.detected == b.detected
+            assert a.peak_correlation == pytest.approx(b.peak_correlation, rel=1e-12)
+
+    def test_invalid_chunk_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            run_starvation_study(sequence, num_cycles=2000, max_trials_per_chunk=0)
+
+    def test_text_rendering_includes_probability(self, sequence):
+        study = run_noise_masking_study(
+            sequence,
+            masking_noise_levels_w=(0.0,),
+            num_cycles=2_048,
+            trials_per_point=2,
+        )
+        assert "P(detect)" in study.to_text()

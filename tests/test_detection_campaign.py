@@ -9,6 +9,32 @@ from repro.detection.campaign import (
     run_detection_probability_campaign,
 )
 
+# Golden values for one small operating point (7-bit LFSR, 1.5 mW watermark,
+# 15 mW noise, 12 trials, seed 42).  These are the values the *pre-batching*
+# per-trial implementation produced for this seed; the batched campaign
+# preserves its draw order, so the curve must stay identical before and
+# after the refactor.  Any change to the campaign's random stream or to the
+# detection maths shows up here as a hard failure.
+_GOLDEN_SEED = 42
+_GOLDEN_POINTS = [
+    # (num_cycles, detections, mean_peak_correlation, mean_z_score)
+    (1_000, 0, 0.019332047008401163, 2.9808499351016224),
+    (4_000, 4, 0.05178425731533317, 3.808953147305265),
+    (16_000, 12, 0.04923244210742477, 6.217843461575629),
+]
+
+
+def _golden_curve():
+    sequence = LFSR(width=7, seed=0x41).sequence()
+    return run_detection_probability_campaign(
+        sequence,
+        watermark_amplitude_w=1.5e-3,
+        noise_sigma_w=15e-3,
+        cycle_counts=tuple(point[0] for point in _GOLDEN_POINTS),
+        trials_per_point=12,
+        seed=_GOLDEN_SEED,
+    )
+
 
 @pytest.fixture(scope="module")
 def sequence():
@@ -79,6 +105,83 @@ class TestCampaign:
     def test_invalid_target_probability(self, curve):
         with pytest.raises(ValueError):
             curve.empirical_required_cycles(target_probability=0.0)
+
+
+class TestSeedDeterminism:
+    """Same seed -> identical curve, pinned against golden values."""
+
+    def test_campaign_reproduces_golden_points(self):
+        curve = _golden_curve()
+        assert len(curve.points) == len(_GOLDEN_POINTS)
+        for point, (cycles, detections, mean_peak, mean_z) in zip(
+            curve.points, _GOLDEN_POINTS
+        ):
+            assert point.num_cycles == cycles
+            assert point.trials == 12
+            # Detection counts are exact; the float means are pinned at a
+            # tolerance loose enough to survive BLAS/FFT kernel differences
+            # across numpy versions and CPUs.
+            assert point.detections == detections
+            assert point.mean_peak_correlation == pytest.approx(mean_peak, rel=1e-9, abs=1e-12)
+            assert point.mean_z_score == pytest.approx(mean_z, rel=1e-9)
+
+    def test_two_runs_are_identical(self):
+        first = _golden_curve()
+        second = _golden_curve()
+        for a, b in zip(first.points, second.points):
+            assert a == b
+
+    def test_chunking_does_not_change_detection_counts(self):
+        sequence = LFSR(width=7, seed=0x41).sequence()
+        chunked = run_detection_probability_campaign(
+            sequence,
+            watermark_amplitude_w=1.5e-3,
+            noise_sigma_w=15e-3,
+            cycle_counts=tuple(point[0] for point in _GOLDEN_POINTS),
+            trials_per_point=12,
+            seed=_GOLDEN_SEED,
+            max_trials_per_chunk=5,
+            chunk_cycles=1_024,
+        )
+        for point, (cycles, detections, _, _) in zip(chunked.points, _GOLDEN_POINTS):
+            assert point.num_cycles == cycles
+            assert point.detections == detections
+
+
+class TestMonotonicityTolerance:
+    def _curve_with_probabilities(self, probabilities):
+        curve = DetectionProbabilityCurve(
+            watermark_amplitude_w=1e-3, noise_sigma_w=10e-3, sequence_period=127
+        )
+        for index, probability in enumerate(probabilities):
+            curve.points.append(
+                DetectionOperatingPoint(
+                    num_cycles=1_000 * (index + 1),
+                    trials=10,
+                    detections=int(round(probability * 10)),
+                    mean_peak_correlation=0.0,
+                    mean_z_score=0.0,
+                )
+            )
+        return curve
+
+    def test_default_tolerance_absorbs_small_wiggle(self):
+        curve = self._curve_with_probabilities([0.5, 0.4, 0.9])
+        assert curve.is_monotonic()
+
+    def test_strict_tolerance_flags_any_dip(self):
+        curve = self._curve_with_probabilities([0.5, 0.4, 0.9])
+        assert not curve.is_monotonic(wiggle_tolerance=0.0)
+
+    def test_custom_tolerance_boundary(self):
+        curve = self._curve_with_probabilities([0.8, 0.5, 1.0])
+        assert not curve.is_monotonic(wiggle_tolerance=0.2)
+        assert curve.is_monotonic(wiggle_tolerance=0.4)
+
+    def test_negative_tolerance_rejected(self):
+        curve = self._curve_with_probabilities([0.5, 0.6])
+        with pytest.raises(ValueError):
+            curve.is_monotonic(wiggle_tolerance=-0.1)
 
 
 class TestValidation:

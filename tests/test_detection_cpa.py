@@ -149,3 +149,14 @@ class TestCPADetector:
         result = CPADetector().detect(sequence, measured)
         assert "rho" in result.summary()
         assert result.num_rotations == 63
+
+    def test_summary_formats_infinite_z_score(self):
+        # Zero noise floor (all off-peak correlations identical) drives the
+        # z-score to infinity; the summary must stay readable.
+        spectrum = np.zeros(5)
+        spectrum[2] = 0.7
+        result = CPADetector().evaluate(spectrum)
+        assert np.isinf(result.z_score)
+        summary = result.summary()
+        assert "zero noise floor" in summary
+        assert "z=inf" in summary
