@@ -1,0 +1,95 @@
+"""Machine-readable benchmark recording.
+
+The benchmark suite prints human-readable paper-vs-measured reports; this
+helper additionally persists the performance-relevant numbers to a JSON
+file (``BENCH_PR2.json`` by default, override with the ``REPRO_BENCH_JSON``
+environment variable) so CI can upload them as an artifact and the perf
+trajectory of the synthesis and detection engines is tracked release over
+release instead of living only in scrollback.
+
+Usage from a benchmark::
+
+    from record import record_benchmark
+
+    record_benchmark(
+        "synthesis_watermark_trace",
+        {"num_cycles": 100_000, "reference_s": 4.2, "synthesized_s": 0.2},
+    )
+
+Entries are merged by name, so re-running a benchmark updates its entry in
+place and independent benchmarks can write to the same file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, Optional
+
+#: Environment variable overriding the output path.
+RESULTS_ENV = "REPRO_BENCH_JSON"
+
+#: Default output file (relative to the pytest invocation directory).
+DEFAULT_RESULTS_FILE = "BENCH_PR2.json"
+
+#: Schema version of the emitted JSON document.
+SCHEMA_VERSION = 1
+
+
+def results_path() -> str:
+    """Path of the benchmark results file."""
+    return os.environ.get(RESULTS_ENV, DEFAULT_RESULTS_FILE)
+
+
+def _environment() -> Dict[str, str]:
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def _load(path: str) -> Dict:
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if isinstance(payload, dict) and isinstance(payload.get("benchmarks"), dict):
+                return payload
+        except (OSError, ValueError):
+            pass  # a corrupt results file is replaced, not fatal
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmarks": {},
+    }
+
+
+def record_benchmark(name: str, metrics: Dict, path: Optional[str] = None) -> Dict:
+    """Merge one benchmark entry into the results file and return the entry.
+
+    ``metrics`` is any JSON-serialisable mapping (timings in seconds,
+    speedups, problem sizes, pass/fail flags).  Each entry carries its own
+    ``environment`` stamp, so merging runs from different interpreters
+    into one file never mis-attributes earlier timings.  The write is
+    atomic (temp file + rename) so a crashing benchmark never truncates
+    earlier results.
+    """
+    if not name:
+        raise ValueError("benchmark name must be non-empty")
+    path = path or results_path()
+    payload = _load(path)
+    entry = dict(metrics)
+    entry["recorded_unix"] = round(time.time(), 3)
+    entry["environment"] = _environment()
+    payload["benchmarks"][name] = entry
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, path)
+    return entry

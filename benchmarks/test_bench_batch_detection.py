@@ -16,6 +16,8 @@ import time
 import numpy as np
 import pytest
 
+from record import record_benchmark
+
 from repro.core.lfsr import LFSR
 from repro.detection.batch import BatchCPADetector
 from repro.detection.cpa import CPADetector
@@ -107,6 +109,20 @@ def test_bench_batch_detection_speedup(benchmark, report):
         assert int(batch.peak_rotations[index]) == result.peak_rotation
         assert np.array_equal(batch.correlations[index], result.correlations)
 
+    record_benchmark(
+        "batch_detection",
+        {
+            "trials": NUM_TRIALS,
+            "num_cycles": NUM_CYCLES,
+            "period": len(sequence),
+            "per_trial_loop_s": loop_s,
+            "batched_detect_many_s": batch_s,
+            "speedup": speedup,
+            "min_speedup_floor": MIN_SPEEDUP,
+            "decisions_identical": True,
+            "relaxed": RELAXED,
+        },
+    )
     report(
         f"Batched CPA detection ({NUM_TRIALS} trials x {NUM_CYCLES:,} cycles, period "
         f"{len(sequence)})",

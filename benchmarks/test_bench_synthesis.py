@@ -1,0 +1,231 @@
+"""Benchmark: vectorized trace synthesis vs the per-cycle simulator path.
+
+Before the synthesis engine landed, generating a watermarked power trace
+meant stepping every watermark sub-circuit once per clock cycle in Python;
+at the paper's acquisition lengths (100k-300k cycles) that per-cycle tax
+dominated the whole pipeline once detection became batched.  The fast path
+runs the cycle-accurate loop once per sequence period (4,095 cycles for
+the paper's 12-bit LFSR), turns it into a per-cycle power template and
+extends it to the acquisition length with a modular-index gather.
+
+This benchmark pins the speedup floor named in the PR acceptance criteria
+(>= 10x at >= 100,000 cycles) and -- more importantly -- proves the fast
+path changes *nothing*: the synthesized trace equals the per-cycle
+simulated trace bit for bit, and the full measure-then-detect chain reaches
+identical CPA decisions on both.  Timings are persisted to BENCH_PR2.json
+(see record.py) and uploaded as a CI artifact.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from record import record_benchmark
+
+from repro.core.architectures import ClockModulationWatermark
+from repro.core.config import DetectionConfig, MeasurementConfig, WatermarkConfig
+from repro.detection.batch import BatchCPADetector
+from repro.detection.cpa import CPADetector
+from repro.measurement.acquisition import AcquisitionCampaign
+from repro.power.estimator import PowerEstimator
+from repro.power.synthesis import TraceSynthesizer
+from repro.rtl.activity import ActivityTrace
+
+NUM_CYCLES = 100_000
+MIN_SPEEDUP = 10.0
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+# Shared CI runners can be throttled enough to make any wall-clock ratio
+# flaky; REPRO_BENCH_RELAXED=1 keeps the benchmark report-only there while
+# local / dedicated runs still enforce the floor.
+RELAXED = os.environ.get("REPRO_BENCH_RELAXED") == "1"
+
+
+def _stepped_watermark_power(architecture, estimator, num_cycles):
+    """The per-cycle simulator path: one Python step per clock cycle."""
+    architecture.reset()
+    wgc_records = []
+    load_records = []
+    for _ in range(num_cycles):
+        activity = architecture.step()
+        wgc_records.append(activity["wgc"])
+        load_records.append(activity["load"])
+    architecture.reset()
+    traces = {
+        "wgc": ActivityTrace.from_records(f"{architecture.name}/wgc", wgc_records),
+        "load": ActivityTrace.from_records(f"{architecture.name}/load", load_records),
+    }
+    static = estimator.leakage_of(architecture.cell_inventory())
+    return estimator.combined_power_trace(
+        traces,
+        cell_types={key: "dff" for key in traces},
+        static_w=static,
+        name=architecture.name,
+    )
+
+
+def test_bench_synthesis_speedup(report):
+    estimator = PowerEstimator.at_nominal()
+    config = WatermarkConfig()  # the paper's test-chip configuration
+
+    # Per-cycle reference, timed once (it is the slow side by construction).
+    reference_arch = ClockModulationWatermark.from_config(config)
+    start = time.perf_counter()
+    reference = _stepped_watermark_power(reference_arch, estimator, NUM_CYCLES)
+    reference_s = time.perf_counter() - start
+
+    # Synthesized path, cold: every round pays the full template build (one
+    # cycle-accurate period) plus the modular-index extension.
+    cold_times = []
+    for _ in range(3):
+        architecture = ClockModulationWatermark.from_config(config)
+        start = time.perf_counter()
+        synthesizer = TraceSynthesizer.for_watermark(architecture, estimator)
+        synthesized = synthesizer.synthesize_power(NUM_CYCLES)
+        cold_times.append(time.perf_counter() - start)
+    cold_s = min(cold_times)
+
+    # Warm: the periodic template is cached on the architecture, so repeated
+    # acquisitions (campaigns, repetitions) only pay the gather.
+    warm_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        synthesized = synthesizer.synthesize_power(NUM_CYCLES)
+        warm_times.append(time.perf_counter() - start)
+    warm_s = min(warm_times)
+
+    speedup_cold = reference_s / cold_s
+    speedup_warm = reference_s / warm_s
+
+    # Equivalence: the fast path must change nothing, bit for bit.
+    assert np.array_equal(synthesized.power_w, reference.power_w)
+
+    # End-to-end: measure both traces with the same seed and detect; the
+    # decisions (and the whole correlation spectra) must be identical.
+    campaign = AcquisitionCampaign(MeasurementConfig())
+    detector = CPADetector(DetectionConfig())
+    sequence = reference_arch.sequence()
+    measured_ref = campaign.measure(reference, seed=77)
+    measured_syn = campaign.measure(synthesized, seed=77)
+    cpa_ref = detector.detect(sequence, measured_ref.values)
+    cpa_syn = detector.detect(sequence, measured_syn.values)
+    assert cpa_ref.detected == cpa_syn.detected
+    assert cpa_ref.peak_rotation == cpa_syn.peak_rotation
+    assert np.array_equal(cpa_ref.correlations, cpa_syn.correlations)
+
+    record_benchmark(
+        "synthesis_watermark_trace",
+        {
+            "num_cycles": NUM_CYCLES,
+            "sequence_period": reference_arch.sequence_period,
+            "per_cycle_simulator_s": reference_s,
+            "synthesized_cold_s": cold_s,
+            "synthesized_warm_s": warm_s,
+            "speedup_cold": speedup_cold,
+            "speedup_warm": speedup_warm,
+            "min_speedup_floor": MIN_SPEEDUP,
+            "traces_bit_identical": True,
+            "detection_decisions_identical": True,
+            "relaxed": RELAXED,
+        },
+    )
+    report(
+        f"Vectorized trace synthesis ({NUM_CYCLES:,} cycles, period "
+        f"{reference_arch.sequence_period})",
+        "\n".join(
+            [
+                f"per-cycle simulator path:        {reference_s * 1e3:9.1f} ms",
+                f"synthesized (cold, incl. template): {cold_s * 1e3:6.1f} ms",
+                f"synthesized (warm template):     {warm_s * 1e3:9.2f} ms",
+                f"speedup cold/warm:               {speedup_cold:7.1f}x / {speedup_warm:.0f}x "
+                f"(floor {MIN_SPEEDUP}x)",
+                f"traces bit-identical:            True",
+                f"detection decisions identical:   True (peak rotation "
+                f"{cpa_syn.peak_rotation})",
+            ]
+        ),
+    )
+    if not RELAXED:
+        assert speedup_cold >= MIN_SPEEDUP, (
+            f"synthesis only {speedup_cold:.1f}x faster than the per-cycle "
+            f"simulator path (expected >= {MIN_SPEEDUP}x)"
+        )
+
+
+def test_bench_trial_matrix_synthesis(report):
+    """Trial-matrix synthesis: batched gather vs the per-trial slice loop."""
+    from repro.core.lfsr import LFSR
+
+    sequence = LFSR(width=12, seed=0x5A5).sequence().astype(np.float64)
+    period = len(sequence)
+    trials = 40
+    num_cycles = NUM_CYCLES
+    amplitude, base, sigma = 1.5e-3, 5e-3, 20e-3
+
+    def per_trial_loop(seed):
+        rng = np.random.default_rng(seed)
+        tiled = np.tile(sequence, int(np.ceil((num_cycles + period) / period)))
+        matrix = np.empty((trials, num_cycles))
+        for row in range(trials):
+            offset = int(rng.integers(0, period))
+            signal = base + tiled[offset : offset + num_cycles] * amplitude
+            matrix[row] = signal + rng.normal(0.0, sigma, num_cycles)
+        return matrix
+
+    synthesizer = TraceSynthesizer.from_sequence(
+        sequence, watermark_amplitude_w=amplitude, noise_sigma_w=sigma, base_power_w=base
+    )
+
+    # Warm both paths (allocator, page faults), then best of three.  The
+    # Gaussian noise draw is inherent to both sides and dominates; the
+    # vectorised win is in the signal construction, which the strided
+    # window adds collapse to a few full-matrix passes.
+    per_trial_loop(1)
+    synthesizer.synthesize_trials(trials, num_cycles, np.random.default_rng(1))
+    loop_s = min(
+        _timed(lambda: per_trial_loop(2024)) for _ in range(3)
+    )
+    batch_s = min(
+        _timed(
+            lambda: synthesizer.synthesize_trials(
+                trials, num_cycles, np.random.default_rng(2024)
+            )
+        )
+        for _ in range(3)
+    )
+
+    legacy = per_trial_loop(2024)
+    batched = synthesizer.synthesize_trials(trials, num_cycles, np.random.default_rng(2024))
+    assert np.array_equal(batched, legacy)
+    detector = BatchCPADetector()
+    decisions = detector.detect_many(sequence, batched)
+
+    record_benchmark(
+        "synthesis_trial_matrix",
+        {
+            "trials": trials,
+            "num_cycles": num_cycles,
+            "per_trial_loop_s": loop_s,
+            "batched_synthesis_s": batch_s,
+            "speedup": loop_s / batch_s,
+            "matrices_bit_identical": True,
+            "detections": int(decisions.detection_count),
+        },
+    )
+    report(
+        f"Trial-matrix synthesis ({trials} trials x {num_cycles:,} cycles)",
+        "\n".join(
+            [
+                f"per-trial slice loop:  {loop_s * 1e3:8.1f} ms",
+                f"batched synthesis:     {batch_s * 1e3:8.1f} ms",
+                f"speedup:               {loop_s / batch_s:8.2f}x (noise-draw bound)",
+                f"matrices bit-identical: True; detections {decisions.detection_count}/{trials}",
+            ]
+        ),
+    )

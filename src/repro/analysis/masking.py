@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.config import DetectionConfig
 from repro.detection.batch import BatchCPADetector, BatchCPAResult
+from repro.power.synthesis import TraceSynthesizer
 
 
 @dataclass(frozen=True)
@@ -114,15 +115,23 @@ def _run_sweep(
     order a per-trial simulation would, so the random stream (and therefore
     every detection outcome) is independent of ``max_trials_per_chunk``,
     which only bounds how many rows are materialised and detected at once.
-    An empty sweep (no levels) returns ``None``.
+    The rows themselves come out of
+    :meth:`repro.power.synthesis.TraceSynthesizer.synthesize_trials` (one
+    batched modular gather per chunk; starvation gates model the host's
+    CLK_CTRL being low part of the time, Fig. 1(b): the effective enable is
+    WMARK AND CLK_CTRL).  An empty sweep (no levels) returns ``None``.
     """
     if max_trials_per_chunk is not None and max_trials_per_chunk <= 0:
         raise ValueError("max_trials_per_chunk must be positive")
     total_rows = len(noise_sigmas) * trials_per_point
     if total_rows == 0:
         return None
-    period = len(sequence)
-    tiled = np.tile(sequence, int(np.ceil((num_cycles + period) / period)))
+    synthesizer = TraceSynthesizer.from_sequence(
+        sequence,
+        watermark_amplitude_w=watermark_amplitude_w,
+        noise_sigma_w=0.0,
+        base_power_w=base_power_w,
+    )
     chunk_size = total_rows if max_trials_per_chunk is None else int(max_trials_per_chunk)
 
     specs = [
@@ -133,23 +142,16 @@ def _run_sweep(
     batches: List[BatchCPAResult] = []
     for start in range(0, total_rows, chunk_size):
         chunk_specs = specs[start : start + chunk_size]
-        rows = np.empty((len(chunk_specs), num_cycles), dtype=np.float64)
-        for row, (sigma, duty) in enumerate(chunk_specs):
-            offset = int(rng.integers(0, period))
-            watermark = tiled[offset : offset + num_cycles]
-            # Starvation: the host's original CLK_CTRL is only high for a
-            # fraction of the cycles, and the watermark only draws power when
-            # both are high (Fig. 1(b): the effective enable is
-            # WMARK AND CLK_CTRL).
-            if duty < 1.0:
-                gate = rng.random(num_cycles) < duty
-                watermark = watermark * gate
-            rows[row] = (
-                base_power_w
-                + watermark * watermark_amplitude_w
-                + rng.normal(0.0, sigma, num_cycles)
+        batches.append(
+            synthesizer.detect_trials(
+                detector,
+                len(chunk_specs),
+                num_cycles,
+                rng,
+                noise_sigmas=[sigma for sigma, _ in chunk_specs],
+                enable_duties=[duty for _, duty in chunk_specs],
             )
-        batches.append(detector.detect_many(sequence, rows))
+        )
     if len(batches) == 1:
         return batches[0]
     return BatchCPAResult.concatenate(batches)

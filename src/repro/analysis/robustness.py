@@ -6,9 +6,12 @@ Two complementary notions of robustness are assessed:
   locate and excise the watermark without breaking the host design?
 * **detection** (:func:`assess_detection_robustness`) -- how much
   power-domain masking (noise injection or enable starvation) does it take
-  to defeat CPA?  These sweeps are Monte-Carlo campaigns whose trials all
+  to defeat CPA?  These sweeps are Monte-Carlo campaigns whose trial
+  matrices are synthesized by the vectorized trace-synthesis engine
+  (:class:`repro.power.synthesis.TraceSynthesizer`) and whose trials all
   run through the batched detection engine
-  (:class:`repro.detection.batch.BatchCPADetector`).
+  (:class:`repro.detection.batch.BatchCPADetector`) -- no per-cycle Python
+  loop on either the generation or the detection side.
 """
 
 from __future__ import annotations

@@ -33,8 +33,19 @@ from repro.core.config import ArchitectureKind, WatermarkConfig
 from repro.core.load_circuit import LoadCircuit
 from repro.core.wgc import WatermarkGenerationCircuit
 from repro.power.estimator import PowerEstimator
+from repro.power.synthesis import PeriodicPowerTemplate
 from repro.power.trace import PowerTrace
 from repro.rtl.activity import ActivityRecord, ActivityTrace
+
+
+def _copy_activity_trace(trace: ActivityTrace) -> ActivityTrace:
+    """An independent copy of a trace (array slices are views, not copies)."""
+    return ActivityTrace(
+        name=trace.name,
+        clock_toggles=trace.clock_toggles.copy(),
+        data_toggles=trace.data_toggles.copy(),
+        comb_toggles=trace.comb_toggles.copy(),
+    )
 
 
 class WatermarkArchitecture(abc.ABC):
@@ -43,6 +54,7 @@ class WatermarkArchitecture(abc.ABC):
     def __init__(self, wgc: WatermarkGenerationCircuit, name: str) -> None:
         self.wgc = wgc
         self.name = name
+        self._periodic_activity_cache: Optional[Dict[str, ActivityTrace]] = None
 
     # -- abstract structural/behavioural hooks -----------------------------
 
@@ -110,12 +122,24 @@ class WatermarkArchitecture(abc.ABC):
         load_activity = self._load_step(wmark_before)
         return {"wgc": wgc_activity, "load": load_activity}
 
-    def periodic_activity(self) -> Dict[str, ActivityTrace]:
+    def periodic_activity(self, use_cache: bool = True) -> Dict[str, ActivityTrace]:
         """Exact per-cycle activity over one full watermark period.
 
         The watermark circuits are strictly periodic with the sequence
-        period, so one period fully characterises them.
+        period, so one period fully characterises them.  The cycle-accurate
+        step loop therefore runs at most once per architecture instance
+        (the circuit configuration is fixed at construction): the result is
+        cached and later calls -- including every trace synthesis through
+        :meth:`power_template` -- are pure array work.  Callers receive
+        independent trace copies, so mutating a returned trace cannot
+        corrupt the cache.  Pass ``use_cache=False`` to force a fresh
+        cycle-accurate run.
         """
+        if use_cache and self._periodic_activity_cache is not None:
+            return {
+                key: _copy_activity_trace(trace)
+                for key, trace in self._periodic_activity_cache.items()
+            }
         self.reset()
         period = self.sequence_period
         wgc_records = []
@@ -125,10 +149,15 @@ class WatermarkArchitecture(abc.ABC):
             wgc_records.append(activity["wgc"])
             load_records.append(activity["load"])
         self.reset()
-        return {
+        traces = {
             "wgc": ActivityTrace.from_records(f"{self.name}/wgc", wgc_records),
             "load": ActivityTrace.from_records(f"{self.name}/load", load_records),
         }
+        if use_cache:
+            self._periodic_activity_cache = {
+                key: _copy_activity_trace(trace) for key, trace in traces.items()
+            }
+        return traces
 
     def activity_traces(self, num_cycles: int) -> Dict[str, ActivityTrace]:
         """Exact activity traces over ``num_cycles`` cycles (tiled periods)."""
@@ -144,18 +173,42 @@ class WatermarkArchitecture(abc.ABC):
         combined.name = self.name
         return combined
 
-    def power_trace(
-        self, estimator: PowerEstimator, num_cycles: int, include_leakage: bool = True
-    ) -> PowerTrace:
-        """Per-cycle power contributed by the watermark circuit."""
-        traces = self.activity_traces(num_cycles)
+    def power_template(
+        self, estimator: PowerEstimator, include_leakage: bool = True
+    ) -> PeriodicPowerTemplate:
+        """One-period per-cycle power template of the watermark circuit.
+
+        Computed from the cached periodic activity, so after the first call
+        per architecture no cycle-accurate stepping happens at all.
+        """
+        traces = self.periodic_activity()
         static = estimator.leakage_of(self.cell_inventory()) if include_leakage else 0.0
-        return estimator.combined_power_trace(
+        trace = estimator.combined_power_trace(
             traces,
             cell_types={key: "dff" for key in traces},
             static_w=static,
             name=self.name,
         )
+        return PeriodicPowerTemplate.from_power_trace(trace)
+
+    def power_trace(
+        self,
+        estimator: PowerEstimator,
+        num_cycles: int,
+        include_leakage: bool = True,
+        phase_offset: int = 0,
+    ) -> PowerTrace:
+        """Per-cycle power contributed by the watermark circuit.
+
+        Synthesized from the one-period power template by modular-index
+        extension -- bit-identical to estimating power over cycle-accurate
+        activity of the full acquisition length (the equivalence suite in
+        ``tests/test_power_synthesis.py`` pins this).  ``phase_offset``
+        rotates the trace like ``np.roll(power_w, -phase_offset)``, which
+        models the scope trigger being unaligned with the watermark phase.
+        """
+        template = self.power_template(estimator, include_leakage)
+        return template.extend(num_cycles, phase_offset)
 
     def average_active_load_power(self, estimator: PowerEstimator) -> float:
         """Average load dynamic power during WMARK-high cycles.

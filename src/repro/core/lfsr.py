@@ -71,6 +71,113 @@ def max_length_taps(width: int) -> Tuple[int, ...]:
     return _MAX_LENGTH_TAPS[width]
 
 
+# -- closed-form (vectorised) sequence generation ---------------------------
+#
+# The trace-synthesis fast path (repro.power.synthesis) needs watermark
+# sequences without paying one Python ``step()`` per bit.  The generators
+# below produce arrays that are bit-identical to stepping the registers;
+# the per-cycle ``stepped_sequence`` implementation stays as the golden
+# reference and the equivalence is pinned by property tests for every
+# tabulated width.
+
+#: Cache of generated output sequences keyed by generator configuration.
+_SEQUENCE_CACHE: Dict[Tuple, np.ndarray] = {}
+
+#: Longest sequence kept in the cache (int8 entries, so 4 MiB per entry cap).
+_SEQUENCE_CACHE_MAX_LENGTH = 1 << 22
+
+
+def clear_sequence_cache() -> None:
+    """Drop all cached closed-form sequences (used by tests)."""
+    _SEQUENCE_CACHE.clear()
+
+
+def _galois_feedback_mask(width: int, taps: Tuple[int, ...]) -> int:
+    """Feedback mask of the Galois register (see :class:`LFSR`)."""
+    mask = 1 << (width - 1)
+    for tap in taps:
+        if tap != width:
+            mask |= 1 << (tap - 1)
+    return mask
+
+
+def galois_sequence_bits(
+    width: int, seed: int, taps: Tuple[int, ...], length: int
+) -> np.ndarray:
+    """Closed-form Galois LFSR output, bit-identical to per-bit stepping.
+
+    The output stream of the right-shifting Galois register implemented by
+    :class:`LFSR` satisfies the GF(2) linear recurrence
+
+    ``s[n] = XOR over t in taps of s[n - t]``
+
+    (the recurrence of the reciprocal feedback polynomial).  Squaring the
+    polynomial doubles every lag while keeping the term count, so after
+    bootstrapping ``2 * width`` bits with the plain state transition the
+    rest of the array is filled with O(len(taps) * width * log(length))
+    vectorised block XORs instead of one Python iteration per bit.
+    """
+    if length <= 0:
+        raise ValueError("sequence length must be positive")
+    mask = (1 << width) - 1
+    seed &= mask
+    if seed == 0:
+        raise ValueError("LFSR seed must be non-zero")
+    feedback = _galois_feedback_mask(width, taps)
+    bits = np.empty(length, dtype=np.int8)
+    # Bootstrap enough bits for the doubled recurrences to take over.
+    state = seed
+    boot = min(length, 2 * width)
+    for i in range(boot):
+        bits[i] = state & 1
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= feedback
+    filled = boot
+    lags = sorted(set(taps))
+    min_lag = lags[0]
+    while filled < length:
+        # Largest squaring level whose longest lag (scale * width) is known.
+        scale = 1
+        while 2 * scale * width <= filled:
+            scale *= 2
+        block = min(scale * min_lag, length - filled)
+        start = filled - scale * lags[0]
+        acc = bits[start : start + block].copy()
+        for tap in lags[1:]:
+            start = filled - scale * tap
+            np.bitwise_xor(acc, bits[start : start + block], out=acc)
+        bits[filled : filled + block] = acc
+        filled += block
+    return bits
+
+
+def circular_shift_sequence_bits(pattern: int, width: int, length: int) -> np.ndarray:
+    """Closed-form circular-shift-register output (the pattern, repeated)."""
+    if length <= 0:
+        raise ValueError("sequence length must be positive")
+    pattern &= (1 << width) - 1
+    stages = np.array([(pattern >> i) & 1 for i in range(width)], dtype=np.int8)
+    return stages[np.arange(length, dtype=np.int64) % width]
+
+
+def _cached_sequence_bits(key: Tuple, length: int, generate) -> np.ndarray:
+    """Serve ``length`` bits from the cache, generating/extending as needed.
+
+    The cache stores the longest sequence generated so far per
+    configuration; shorter requests are prefix slices.  No periodicity is
+    assumed (non-maximum-length tap sets may have a shorter true period
+    than the nominal one), so extensions regenerate from the recurrence.
+    """
+    cached = _SEQUENCE_CACHE.get(key)
+    if cached is None or len(cached) < length:
+        cached = generate(length)
+        if length <= _SEQUENCE_CACHE_MAX_LENGTH:
+            _SEQUENCE_CACHE[key] = cached
+    return cached[:length].copy()
+
+
 def max_length_period(width: int) -> int:
     """Period of a maximum-length sequence of the given register width."""
     if width < 2:
@@ -113,7 +220,26 @@ class SequenceGenerator(abc.ABC):
     def sequence(self, length: Optional[int] = None) -> np.ndarray:
         """Generate ``length`` output bits (default: one full period).
 
-        The generator state is saved and restored, so calling this does not
+        Served by the closed-form vectorised generator (cached per
+        generator configuration) when the subclass provides one; the
+        bits are identical to :meth:`stepped_sequence`, which remains the
+        cycle-accurate golden reference.  The generator state is never
+        perturbed by either path.
+        """
+        if length is None:
+            length = self.period
+        if length <= 0:
+            raise ValueError("sequence length must be positive")
+        bits = self._closed_form_sequence(length)
+        if bits is not None:
+            return bits
+        return self.stepped_sequence(length)
+
+    def stepped_sequence(self, length: Optional[int] = None) -> np.ndarray:
+        """Generate ``length`` output bits by stepping one cycle at a time.
+
+        This is the golden reference for the closed-form fast path.  The
+        generator state is saved and restored, so calling this does not
         perturb an ongoing simulation.
         """
         if length is None:
@@ -129,6 +255,10 @@ class SequenceGenerator(abc.ABC):
             bits[i] = bit
         self._restore_state(saved)
         return bits
+
+    def _closed_form_sequence(self, length: int) -> Optional[np.ndarray]:
+        """Vectorised sequence generation; ``None`` defers to stepping."""
+        return None
 
     @abc.abstractmethod
     def _save_state(self):
@@ -224,6 +354,14 @@ class LFSR(SequenceGenerator):
     def _restore_state(self, state: int) -> None:
         self.state = state
 
+    def _closed_form_sequence(self, length: int) -> np.ndarray:
+        key = ("lfsr", self.width, self.seed, tuple(sorted(set(self.taps))))
+        return _cached_sequence_bits(
+            key,
+            length,
+            lambda n: galois_sequence_bits(self.width, self.seed, self.taps, n),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LFSR(width={self.width}, taps={self.taps}, state={self.state:#x})"
 
@@ -269,6 +407,14 @@ class CircularShiftRegister(SequenceGenerator):
 
     def _restore_state(self, state: int) -> None:
         self.state = state
+
+    def _closed_form_sequence(self, length: int) -> np.ndarray:
+        key = ("csr", self.width, self.pattern)
+        return _cached_sequence_bits(
+            key,
+            length,
+            lambda n: circular_shift_sequence_bits(self.pattern, self.width, n),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CircularShiftRegister(width={self.width}, state={self.state:#x})"

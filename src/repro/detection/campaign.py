@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.config import DetectionConfig
 from repro.detection.batch import BatchCPADetector
 from repro.detection.metrics import estimate_required_cycles, expected_correlation
+from repro.power.synthesis import TraceSynthesizer
 
 
 @dataclass(frozen=True)
@@ -121,8 +122,10 @@ def run_detection_probability_campaign(
     N(0, sigma)`` -- which keeps the campaign fast enough to sweep dozens of
     operating points while remaining faithful to what CPA actually sees.
 
-    All trials of one acquisition length are generated as a single trial
-    matrix and detected in one batched CPA pass.  Each trial's random
+    All trials of one acquisition length are synthesized as a single trial
+    matrix by :class:`repro.power.synthesis.TraceSynthesizer` (the offset
+    rows come out of one batched modular gather instead of one Python slice
+    per trial) and detected in one batched CPA pass.  Each trial's random
     draws (phase offset, then its noise row) happen in the same order as
     the pre-batching per-trial loop, so a given seed produces the *same
     curve* as the original implementation — the golden values in
@@ -148,6 +151,12 @@ def run_detection_probability_campaign(
 
     detector = BatchCPADetector(detection_config or DetectionConfig())
     period = len(sequence)
+    synthesizer = TraceSynthesizer.from_sequence(
+        sequence,
+        watermark_amplitude_w=watermark_amplitude_w,
+        noise_sigma_w=noise_sigma_w,
+        base_power_w=base_power_w,
+    )
     rng = np.random.default_rng(seed)
     curve = DetectionProbabilityCurve(
         watermark_amplitude_w=watermark_amplitude_w,
@@ -161,7 +170,6 @@ def run_detection_probability_campaign(
             raise ValueError(
                 f"acquisition of {num_cycles} cycles is shorter than the sequence period {period}"
             )
-        tiled = np.tile(sequence, int(np.ceil((num_cycles + period) / period)))
         detections = 0
         peak_sum = 0.0
         z_sum = 0.0
@@ -169,12 +177,9 @@ def run_detection_probability_campaign(
             stop = min(trials_per_point, start + row_step)
             # Each row draws its offset then its noise, exactly as the
             # pre-batching per-trial loop did (seed compatibility); the
-            # chunk's peak memory stays at one trials x cycles array.
-            trial_matrix = np.empty((stop - start, num_cycles), dtype=np.float64)
-            for row in range(stop - start):
-                offset = int(rng.integers(0, period))
-                signal = base_power_w + tiled[offset : offset + num_cycles] * watermark_amplitude_w
-                trial_matrix[row] = signal + rng.normal(0.0, noise_sigma_w, num_cycles)
+            # offset rows are gathered in one batched fancy-index pass and
+            # the chunk's peak memory stays at one trials x cycles array.
+            trial_matrix = synthesizer.synthesize_trials(stop - start, num_cycles, rng)
             batch = detector.detect_many(sequence, trial_matrix, chunk_cycles=chunk_cycles)
             detections += batch.detection_count
             peak_sum += float(batch.peak_correlations.sum())

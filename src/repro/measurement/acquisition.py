@@ -18,7 +18,7 @@ measured per-cycle power vector ``Y``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -129,8 +129,12 @@ class AcquisitionCampaign:
             return self._measure_detailed(power_trace, seed)
         return self._measure_fast(power_trace, seed)
 
-    def _measure_fast(self, power_trace: PowerTrace, seed: Optional[int]) -> MeasuredTrace:
-        rng = np.random.default_rng(seed)
+    def _fast_path_sigma(self, power_trace: PowerTrace) -> float:
+        """Effective per-cycle noise sigma of the fast measurement path.
+
+        Shared by :meth:`measure` and :meth:`measure_many` so the two can
+        never drift apart on the acquisition-chain statistics.
+        """
         power = power_trace.power_w
         mean_power = float(np.mean(power)) if len(power) else 0.0
         peak_voltage = (
@@ -138,7 +142,12 @@ class AcquisitionCampaign:
             * self.config.shunt_resistance_ohm
         )
         full_scale = max(peak_voltage * self.oscilloscope.range_headroom, 1e-6)
-        sigma = self.per_cycle_noise_sigma(mean_power, full_scale)
+        return self.per_cycle_noise_sigma(mean_power, full_scale)
+
+    def _measure_fast(self, power_trace: PowerTrace, seed: Optional[int]) -> MeasuredTrace:
+        rng = np.random.default_rng(seed)
+        power = power_trace.power_w
+        sigma = self._fast_path_sigma(power_trace)
         measured = power + gaussian_noise(rng, sigma, len(power))
         return MeasuredTrace(
             name=f"{power_trace.name}/measured",
@@ -147,6 +156,38 @@ class AcquisitionCampaign:
             seed=seed,
             detailed=False,
         )
+
+    def measure_many(
+        self,
+        power_trace: PowerTrace,
+        seeds: Sequence[Optional[int]],
+        detailed: bool = False,
+    ) -> np.ndarray:
+        """Measure the same power trace once per seed into a trial matrix.
+
+        Returns a ``len(seeds) x num_cycles`` array whose row ``r`` is
+        bit-identical to ``measure(power_trace, seed=seeds[r]).values``.
+        On the fast path the acquisition-chain statistics (mean power,
+        vertical range, effective noise sigma) are hoisted out of the
+        per-repetition loop, so only one vectorised noise draw per row
+        remains; the matrix feeds straight into
+        :meth:`repro.detection.batch.BatchCPADetector.detect_many`.
+        The detailed path falls back to per-row measurement.
+        """
+        seeds = list(seeds)
+        if not seeds:
+            raise ValueError("at least one seed is required")
+        if detailed:
+            return np.stack(
+                [self.measure(power_trace, seed=seed, detailed=True).values for seed in seeds]
+            )
+        power = power_trace.power_w
+        sigma = self._fast_path_sigma(power_trace)
+        matrix = np.empty((len(seeds), len(power)), dtype=np.float64)
+        for row, seed in enumerate(seeds):
+            rng = np.random.default_rng(self.config.seed if seed is None else seed)
+            matrix[row] = power + gaussian_noise(rng, sigma, len(power))
+        return matrix
 
     def _measure_detailed(self, power_trace: PowerTrace, seed: Optional[int]) -> MeasuredTrace:
         rng = np.random.default_rng(seed)

@@ -18,6 +18,12 @@ from repro.power.models import (
 from repro.power.estimator import PowerEstimator, ComponentPower
 from repro.power.trace import PowerTrace, CurrentTrace
 from repro.power.report import PowerReport, PowerReportRow
+from repro.power.synthesis import (
+    PeriodicPowerTemplate,
+    TraceSynthesizer,
+    gather_periodic_rows,
+    periodic_extend,
+)
 
 __all__ = [
     "CellCharacteristics",
@@ -33,4 +39,8 @@ __all__ = [
     "CurrentTrace",
     "PowerReport",
     "PowerReportRow",
+    "PeriodicPowerTemplate",
+    "TraceSynthesizer",
+    "gather_periodic_rows",
+    "periodic_extend",
 ]

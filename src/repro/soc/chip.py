@@ -119,23 +119,24 @@ class ChipModel:
         if window >= num_cycles:
             return trace
         rng = np.random.default_rng(self.seed if seed is None else seed)
-        arrays = {
-            "clock_toggles": trace.clock_toggles,
-            "data_toggles": trace.data_toggles,
-            "comb_toggles": trace.comb_toggles,
-        }
-        tiled = {key: [] for key in arrays}
-        produced = 0
-        while produced < num_cycles:
-            shift = int(rng.integers(0, window))
-            for key, values in arrays.items():
-                tiled[key].append(np.roll(values, shift))
-            produced += window
+        # One modular-index gather replaces the np.roll-per-repetition list
+        # tiling: repetition r of the window is read at indices
+        # (i - shift_r) mod window, which is exactly np.roll(values, shift_r).
+        # The shifts stay scalar draws so a given seed yields the identical
+        # activity trace as the pre-vectorised implementation (pinned in
+        # tests/test_soc_chip.py).
+        repetitions = -(-num_cycles // window)
+        shifts = np.empty(repetitions, dtype=np.int64)
+        for repetition in range(repetitions):
+            shifts[repetition] = rng.integers(0, window)
+        index = np.arange(window, dtype=np.int64)[None, :] - shifts[:, None]
+        index %= window
+        index = index.reshape(-1)[:num_cycles]
         return ActivityTrace(
             name=trace.name,
-            clock_toggles=np.concatenate(tiled["clock_toggles"])[:num_cycles],
-            data_toggles=np.concatenate(tiled["data_toggles"])[:num_cycles],
-            comb_toggles=np.concatenate(tiled["comb_toggles"])[:num_cycles],
+            clock_toggles=trace.clock_toggles[index],
+            data_toggles=trace.data_toggles[index],
+            comb_toggles=trace.comb_toggles[index],
         )
 
     def background_activity(self, num_cycles: int, seed: Optional[int] = None) -> Dict[str, ActivityTrace]:
@@ -162,11 +163,18 @@ class ChipModel:
             name=f"{self.name}/background",
         )
 
-    def watermark_power(self, num_cycles: int) -> PowerTrace:
-        """Power contributed by the embedded watermark circuit."""
+    def watermark_power(self, num_cycles: int, phase_offset: int = 0) -> PowerTrace:
+        """Power contributed by the embedded watermark circuit.
+
+        Synthesized from the architecture's one-period power template;
+        ``phase_offset`` rotates the trace relative to the acquisition
+        start (the scope trigger is not aligned with the LFSR phase).
+        """
         if self.watermark is None:
             raise ValueError(f"chip {self.name!r} has no embedded watermark")
-        return self.watermark.power_trace(self.estimator, num_cycles)
+        return self.watermark.power_trace(
+            self.estimator, num_cycles, phase_offset=phase_offset
+        )
 
     def total_power(
         self,
@@ -195,14 +203,7 @@ class ChipModel:
                 power_w=background.power_w,
                 voltage_v=background.voltage_v,
             )
-        watermark = self.watermark_power(num_cycles)
-        if watermark_phase_offset:
-            watermark = PowerTrace(
-                name=watermark.name,
-                clock=watermark.clock,
-                power_w=np.roll(watermark.power_w, -int(watermark_phase_offset)),
-                voltage_v=watermark.voltage_v,
-            )
+        watermark = self.watermark_power(num_cycles, phase_offset=watermark_phase_offset)
         total = background.add(watermark)
         return PowerTrace(
             name=f"{self.name}/total",

@@ -6,6 +6,7 @@ import pytest
 from repro.core.lfsr import (
     LFSR,
     CircularShiftRegister,
+    clear_sequence_cache,
     max_length_period,
     max_length_taps,
 )
@@ -129,3 +130,65 @@ class TestCircularShiftRegister:
     def test_minimum_width_enforced(self):
         with pytest.raises(ValueError):
             CircularShiftRegister(pattern=1, width=1)
+
+
+class TestVectorizedSequences:
+    """The closed-form generators must equal per-bit stepping exactly."""
+
+    @pytest.mark.parametrize("width", list(range(2, 33)))
+    def test_lfsr_closed_form_matches_stepped(self, width):
+        mask = (1 << width) - 1
+        for seed in (1, 0x5A5 & mask or 1, mask, 0x2D & mask or 3):
+            lfsr = LFSR(width=width, seed=seed)
+            length = min(max_length_period(width), 1024) + 17
+            assert np.array_equal(lfsr.sequence(length), lfsr.stepped_sequence(length))
+
+    @pytest.mark.parametrize("width", [2, 5, 8, 13, 24, 32])
+    def test_csr_closed_form_matches_stepped(self, width):
+        mask = (1 << width) - 1
+        for pattern in (0b10, 0xAAAAAAAA & mask, 0x5A5 & mask, 1):
+            csr = CircularShiftRegister(pattern=pattern, width=width)
+            length = 3 * width + 5
+            assert np.array_equal(csr.sequence(length), csr.stepped_sequence(length))
+
+    @pytest.mark.parametrize("width", list(range(2, 15)))
+    def test_full_period_window_uniqueness(self, width):
+        # A maximum-length sequence contains every non-zero width-bit word
+        # exactly once per period (windows are the Fibonacci-form states).
+        period = max_length_period(width)
+        bits = LFSR(width=width, seed=1).sequence(period).astype(np.int64)
+        windows = np.zeros(period, dtype=np.int64)
+        for position in range(width):
+            windows |= np.roll(bits, -position) << position
+        assert len(np.unique(windows)) == period
+        assert 0 not in windows
+
+    def test_custom_non_maximum_taps_still_match_stepped(self):
+        # x^4 + x^2 + 1 is reducible (period < 15); the closed form must not
+        # assume maximum length.
+        lfsr = LFSR(width=4, seed=0b1011, taps=(4, 2))
+        assert np.array_equal(lfsr.sequence(64), lfsr.stepped_sequence(64))
+
+    def test_cache_serves_copies(self):
+        clear_sequence_cache()
+        lfsr = LFSR(width=8, seed=0x2D)
+        first = lfsr.sequence()
+        first[0] ^= 1  # mutate the returned array
+        second = lfsr.sequence()
+        assert second[0] == first[0] ^ 1  # the cache was not corrupted
+
+    def test_sequence_does_not_perturb_state(self):
+        lfsr = LFSR(width=12, seed=0x5A5)
+        lfsr.step()
+        state_before = lfsr.state
+        lfsr.sequence(100)
+        lfsr.stepped_sequence(100)
+        assert lfsr.state == state_before
+
+    def test_cache_extension_regenerates_longer_sequences(self):
+        clear_sequence_cache()
+        lfsr = LFSR(width=6, seed=1)
+        short = lfsr.sequence(10)
+        longer = lfsr.sequence(200)
+        assert np.array_equal(longer[:10], short)
+        assert np.array_equal(longer, lfsr.stepped_sequence(200))

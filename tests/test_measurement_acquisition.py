@@ -99,3 +99,25 @@ class TestCampaigns:
     def test_repetitions_must_be_positive(self, campaign, clock):
         with pytest.raises(ValueError):
             campaign.repeat_measurements(make_power_trace(clock), repetitions=0)
+
+
+class TestMeasureMany:
+    def test_rows_bit_identical_to_per_seed_measure(self, campaign, clock):
+        power = make_power_trace(clock)
+        seeds = [3, 4, 5]
+        matrix = campaign.measure_many(power, seeds=seeds)
+        assert matrix.shape == (len(seeds), len(power))
+        for row, seed in enumerate(seeds):
+            assert np.array_equal(matrix[row], campaign.measure(power, seed=seed).values)
+
+    def test_detailed_path_falls_back_per_row(self, campaign, clock):
+        power = make_power_trace(clock)
+        matrix = campaign.measure_many(power, seeds=[7, 8], detailed=True)
+        for row, seed in enumerate([7, 8]):
+            assert np.array_equal(
+                matrix[row], campaign.measure(power, seed=seed, detailed=True).values
+            )
+
+    def test_requires_at_least_one_seed(self, campaign, clock):
+        with pytest.raises(ValueError):
+            campaign.measure_many(make_power_trace(clock), seeds=[])

@@ -1,5 +1,6 @@
 """Unit tests for repro.rtl.simulator."""
 
+import numpy as np
 import pytest
 
 from repro.rtl.activity import ActivityRecord
@@ -85,3 +86,51 @@ class TestCycleSimulator:
         simulator.add_block("z", lambda cycle: ActivityRecord())
         simulator.add_block("a", lambda cycle: ActivityRecord())
         assert simulator.block_names == ["a", "z"]
+
+
+class TestRunPeriodic:
+    def test_matches_full_run_for_periodic_blocks(self, clock):
+        def periodic_block(cycle):
+            phase = cycle % 4
+            return ActivityRecord(clock_toggles=2, data_toggles=phase, comb_toggles=phase % 2)
+
+        simulator = CycleSimulator(clock)
+        simulator.add_block("p", periodic_block)
+        for num_cycles in (4, 8, 10, 15):
+            full = simulator.run(num_cycles)
+            fast = simulator.run_periodic(4, num_cycles)
+            assert fast.num_cycles == num_cycles
+            assert np.array_equal(
+                fast.trace("p").total_toggles, full.trace("p").total_toggles
+            )
+
+    def test_short_acquisition_truncates_period(self, clock):
+        simulator = CycleSimulator(clock)
+        simulator.add_block("p", lambda cycle: ActivityRecord(clock_toggles=2))
+        result = simulator.run_periodic(8, 3)
+        assert result.num_cycles == 3
+
+    def test_invalid_arguments(self, clock):
+        simulator = CycleSimulator(clock)
+        simulator.add_block("p", lambda cycle: ActivityRecord())
+        with pytest.raises(ValueError):
+            simulator.run_periodic(0, 10)
+        with pytest.raises(ValueError):
+            simulator.run_periodic(4, 0)
+
+    def test_resets_blocks_first_by_default(self, clock):
+        # Writing F, 0, F, 0, ... from the reset value 0 is strictly
+        # periodic with period 2 starting at the power-on state.
+        register = Register("r", width=4, reset_value=0)
+        simulator = CycleSimulator(clock)
+        simulator.add_block(
+            "r",
+            lambda cycle: register.step(clock_enabled=True, next_value=((cycle + 1) % 2) * 0xF),
+            reset=register.reset,
+        )
+        simulator.run(3)
+        result = simulator.run_periodic(2, 6)
+        full = simulator.run(6, reset_first=True)
+        assert np.array_equal(
+            result.trace("r").total_toggles, full.trace("r").total_toggles
+        )
