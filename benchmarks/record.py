@@ -1,11 +1,16 @@
-"""Machine-readable benchmark recording.
+"""Machine-readable benchmark recording and trend checking.
 
 The benchmark suite prints human-readable paper-vs-measured reports; this
 helper additionally persists the performance-relevant numbers to a JSON
-file (``BENCH_PR2.json`` by default, override with the ``REPRO_BENCH_JSON``
+file (``BENCH.json`` by default, override with the ``REPRO_BENCH_JSON``
 environment variable) so CI can upload them as an artifact and the perf
 trajectory of the synthesis and detection engines is tracked release over
 release instead of living only in scrollback.
+
+The results file is PR-agnostic: each entry carries its own environment
+and git-commit stamp, so one artifact accumulates timings across PRs.  A
+pre-rename ``BENCH_PR2.json`` found next to a missing ``BENCH.json`` is
+read as the starting point, so historic entries survive the rename.
 
 Usage from a benchmark::
 
@@ -18,29 +23,80 @@ Usage from a benchmark::
 
 Entries are merged by name, so re-running a benchmark updates its entry in
 place and independent benchmarks can write to the same file.
+
+Trend checking (the CI regression gate)::
+
+    python benchmarks/record.py --check-trend --baseline BENCH.json \
+        --current bench-current.json
+
+compares every timing metric (keys ending in ``_s``) of the current run
+against the baseline artifact and fails (exit code 1) when any bench got
+more than ``--threshold`` (default 2.0) times slower.  Entries whose
+baseline was recorded on a different machine are skipped with a warning --
+cross-machine wall-clock comparisons would gate CI on hardware, not code.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
+import subprocess
+import sys
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 #: Environment variable overriding the output path.
 RESULTS_ENV = "REPRO_BENCH_JSON"
 
 #: Default output file (relative to the pytest invocation directory).
-DEFAULT_RESULTS_FILE = "BENCH_PR2.json"
+DEFAULT_RESULTS_FILE = "BENCH.json"
+
+#: Pre-rename artifacts read as a starting point when the default is absent.
+LEGACY_RESULTS_FILES = ("BENCH_PR2.json",)
+
+#: Environment variable overriding the recorded commit id.
+COMMIT_ENV = "REPRO_BENCH_COMMIT"
 
 #: Schema version of the emitted JSON document.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Default slowdown factor beyond which the trend check fails.
+DEFAULT_TREND_THRESHOLD = 2.0
 
 
 def results_path() -> str:
     """Path of the benchmark results file."""
     return os.environ.get(RESULTS_ENV, DEFAULT_RESULTS_FILE)
+
+
+_COMMIT_CACHE: Dict[str, str] = {}
+
+
+def current_commit() -> str:
+    """The git commit the benchmarks run against (``unknown`` outside git).
+
+    ``REPRO_BENCH_COMMIT`` overrides the lookup (useful in CI, where the
+    checkout may be shallow or detached).
+    """
+    override = os.environ.get(COMMIT_ENV)
+    if override:
+        return override
+    if "head" not in _COMMIT_CACHE:
+        try:
+            head = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                check=False,
+            ).stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            head = ""
+        _COMMIT_CACHE["head"] = head or "unknown"
+    return _COMMIT_CACHE["head"]
 
 
 def _environment() -> Dict[str, str]:
@@ -54,19 +110,33 @@ def _environment() -> Dict[str, str]:
     }
 
 
+def _read_payload(path: str) -> Optional[Dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None  # a corrupt results file is replaced, not fatal
+    if isinstance(payload, dict) and isinstance(payload.get("benchmarks"), dict):
+        return payload
+    return None
+
+
 def _load(path: str) -> Dict:
-    if os.path.exists(path):
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            if isinstance(payload, dict) and isinstance(payload.get("benchmarks"), dict):
-                return payload
-        except (OSError, ValueError):
-            pass  # a corrupt results file is replaced, not fatal
-    return {
-        "schema": SCHEMA_VERSION,
-        "benchmarks": {},
-    }
+    payload = _read_payload(path) if os.path.exists(path) else None
+    if payload is None and os.path.basename(path) == DEFAULT_RESULTS_FILE:
+        # Seed a fresh PR-agnostic file from a pre-rename artifact so the
+        # recorded history survives the BENCH_PR2.json -> BENCH.json move.
+        directory = os.path.dirname(path)
+        for legacy in LEGACY_RESULTS_FILES:
+            legacy_path = os.path.join(directory, legacy) if directory else legacy
+            if os.path.exists(legacy_path):
+                payload = _read_payload(legacy_path)
+                if payload is not None:
+                    break
+    if payload is None:
+        payload = {"benchmarks": {}}
+    payload["schema"] = SCHEMA_VERSION
+    return payload
 
 
 def record_benchmark(name: str, metrics: Dict, path: Optional[str] = None) -> Dict:
@@ -74,10 +144,10 @@ def record_benchmark(name: str, metrics: Dict, path: Optional[str] = None) -> Di
 
     ``metrics`` is any JSON-serialisable mapping (timings in seconds,
     speedups, problem sizes, pass/fail flags).  Each entry carries its own
-    ``environment`` stamp, so merging runs from different interpreters
-    into one file never mis-attributes earlier timings.  The write is
-    atomic (temp file + rename) so a crashing benchmark never truncates
-    earlier results.
+    ``environment`` and ``commit`` stamp, so merging runs from different
+    interpreters or revisions into one file never mis-attributes earlier
+    timings.  The write is atomic (temp file + rename) so a crashing
+    benchmark never truncates earlier results.
     """
     if not name:
         raise ValueError("benchmark name must be non-empty")
@@ -86,6 +156,7 @@ def record_benchmark(name: str, metrics: Dict, path: Optional[str] = None) -> Di
     entry = dict(metrics)
     entry["recorded_unix"] = round(time.time(), 3)
     entry["environment"] = _environment()
+    entry["commit"] = current_commit()
     payload["benchmarks"][name] = entry
     temp_path = f"{path}.tmp"
     with open(temp_path, "w", encoding="utf-8") as handle:
@@ -93,3 +164,123 @@ def record_benchmark(name: str, metrics: Dict, path: Optional[str] = None) -> Di
         handle.write("\n")
     os.replace(temp_path, path)
     return entry
+
+
+# -- trend checking -----------------------------------------------------------
+
+
+def compare_benchmarks(
+    baseline: Dict,
+    current: Dict,
+    threshold: float = DEFAULT_TREND_THRESHOLD,
+) -> Dict[str, List[str]]:
+    """Compare two results payloads; returns regressions and skip notes.
+
+    A regression is any shared benchmark whose shared timing metric (a key
+    ending in ``_s`` with a positive numeric baseline) got more than
+    ``threshold`` times slower.  Entries recorded on a different machine
+    or Python/numpy stack are skipped (reported under ``"skipped"``):
+    wall-clock ratios across hardware measure the runner, not the code.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1.0 (it is a slowdown factor)")
+    regressions: List[str] = []
+    skipped: List[str] = []
+    base_entries = baseline.get("benchmarks", {})
+    current_entries = current.get("benchmarks", {})
+    for name in sorted(set(base_entries) & set(current_entries)):
+        base, new = base_entries[name], current_entries[name]
+        base_env = base.get("environment", {})
+        new_env = new.get("environment", {})
+        if base_env and new_env:
+            # "platform" is the full host string (OS/kernel/libc), which is
+            # the closest thing to a host identity _environment() records;
+            # "machine" alone is just the CPU architecture and would let
+            # two different hosts with matching versions hard-fail the
+            # gate on hardware speed.
+            for field in ("machine", "platform", "python", "numpy"):
+                if base_env.get(field) != new_env.get(field):
+                    skipped.append(
+                        f"{name}: baseline {field} "
+                        f"{base_env.get(field)!r} != {new_env.get(field)!r}"
+                    )
+                    base = None
+                    break
+        if base is None:
+            continue
+        for key, base_value in base_entries[name].items():
+            if not key.endswith("_s"):
+                continue
+            new_value = new.get(key)
+            if not isinstance(base_value, (int, float)) or not isinstance(
+                new_value, (int, float)
+            ):
+                continue
+            if base_value <= 0:
+                continue
+            ratio = new_value / base_value
+            if ratio > threshold:
+                regressions.append(
+                    f"{name}.{key}: {base_value:.4f}s -> {new_value:.4f}s "
+                    f"({ratio:.2f}x slower, threshold {threshold:.2f}x)"
+                )
+    return {"regressions": regressions, "skipped": skipped}
+
+
+def check_trend(
+    baseline_path: str,
+    current_path: Optional[str] = None,
+    threshold: float = DEFAULT_TREND_THRESHOLD,
+) -> Dict[str, List[str]]:
+    """Load two artifacts and compare them (see :func:`compare_benchmarks`).
+
+    A missing baseline yields no regressions (first run of a fresh repo);
+    a missing *current* file is an error -- the benchmarks were supposed
+    to have just written it.
+    """
+    current_path = current_path or results_path()
+    current = _read_payload(current_path)
+    if current is None:
+        raise FileNotFoundError(f"current benchmark results not readable: {current_path}")
+    baseline = _read_payload(baseline_path) if os.path.exists(baseline_path) else None
+    if baseline is None:
+        return {"regressions": [], "skipped": [f"no baseline at {baseline_path}"]}
+    return compare_benchmarks(baseline, current, threshold=threshold)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python benchmarks/record.py --check-trend [...]``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check-trend", action="store_true", help="run the regression gate")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_RESULTS_FILE,
+        help="baseline artifact (default: committed BENCH.json)",
+    )
+    parser.add_argument(
+        "--current",
+        default=None,
+        help="freshly written results (default: the REPRO_BENCH_JSON target)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TREND_THRESHOLD", DEFAULT_TREND_THRESHOLD)),
+        help="slowdown factor that fails the check (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    if not args.check_trend:
+        parser.error("nothing to do (pass --check-trend)")
+    outcome = check_trend(args.baseline, args.current, threshold=args.threshold)
+    for note in outcome["skipped"]:
+        print(f"[trend] skipped: {note}")
+    if outcome["regressions"]:
+        for line in outcome["regressions"]:
+            print(f"[trend] REGRESSION: {line}")
+        return 1
+    print("[trend] no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ This benchmark pins the speedup floor named in the PR acceptance criteria
 (>= 10x at >= 100,000 cycles) and -- more importantly -- proves the fast
 path changes *nothing*: the synthesized trace equals the per-cycle
 simulated trace bit for bit, and the full measure-then-detect chain reaches
-identical CPA decisions on both.  Timings are persisted to BENCH_PR2.json
+identical CPA decisions on both.  Timings are persisted to BENCH.json
 (see record.py) and uploaded as a CI artifact.
 """
 

@@ -120,6 +120,8 @@ def assess_detection_robustness(
     trials_per_point: Optional[int] = None,
     detection_config: Optional[DetectionConfig] = None,
     seed: int = 0,
+    compat_draw_order: Optional[bool] = None,
+    gaussian_dtype: Optional[object] = None,
 ) -> DetectionRobustnessAssessment:
     """Sweep masking attacks against the watermark's detectability.
 
@@ -127,11 +129,14 @@ def assess_detection_robustness(
     ``attack`` (a default :class:`MaskingAttack` if none is given); every
     Monte-Carlo trial of a sweep is evaluated in one batched CPA pass.
 
-    ``num_cycles``, ``trials_per_point`` and ``detection_config``
-    parameterise the default attack (unset keywords keep
-    :class:`MaskingAttack`'s own defaults); an explicitly passed ``attack``
-    already carries them, so combining both is rejected rather than
-    silently ignoring the keywords.
+    ``num_cycles``, ``trials_per_point``, ``detection_config``,
+    ``compat_draw_order`` and ``gaussian_dtype`` parameterise the default
+    attack (unset keywords keep :class:`MaskingAttack`'s own defaults --
+    the latter two select the trial-synthesis Gaussian path, e.g.
+    ``compat_draw_order=False, gaussian_dtype=np.float32`` for
+    campaign-scale sweeps); an explicitly passed ``attack`` already
+    carries them, so combining both is rejected rather than silently
+    ignoring the keywords.
     """
     overrides = {
         key: value
@@ -139,6 +144,8 @@ def assess_detection_robustness(
             "trials_per_point": trials_per_point,
             "num_cycles": num_cycles,
             "detection_config": detection_config,
+            "compat_draw_order": compat_draw_order,
+            "gaussian_dtype": gaussian_dtype,
         }.items()
         if value is not None
     }

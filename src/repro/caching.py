@@ -1,0 +1,66 @@
+"""Small shared caching utilities.
+
+The chip-level background subsystem keeps two module-level caches (the
+simulated M0 window in :mod:`repro.soc.cpu` and the background-power
+templates in :mod:`repro.soc.chip`).  Both need the same bookkeeping --
+keyed get-or-compute, hit/miss/eviction counters, explicit clearing and an
+LRU size bound -- so it lives here once instead of twice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, TypeVar, Union
+
+Value = TypeVar("Value")
+
+
+class LRUCache:
+    """A keyed get-or-compute cache with LRU eviction and counters.
+
+    ``max_entries`` may be an int or a zero-argument callable returning
+    one; the callable form lets callers expose the bound as a module
+    constant that tests can monkeypatch.
+    """
+
+    def __init__(self, max_entries: Union[int, Callable[[], int]]) -> None:
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._counters = {"hits": 0, "misses": 0, "evictions": 0}
+
+    def _bound(self) -> int:
+        bound = self._max_entries() if callable(self._max_entries) else self._max_entries
+        if bound <= 0:
+            raise ValueError("the cache size bound must be positive")
+        return bound
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Value]) -> Value:
+        """The cached value for ``key``, computing (and retaining) it on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._counters["misses"] += 1
+            value = compute()
+            self._entries[key] = value
+            bound = self._bound()
+            while len(self._entries) > bound:
+                self._entries.popitem(last=False)
+                self._counters["evictions"] += 1
+            return value
+        self._counters["hits"] += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self._counters.update(hits=0, misses=0, evictions=0)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current entry count."""
+        stats = dict(self._counters)
+        stats["entries"] = len(self._entries)
+        return stats
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.config import MeasurementConfig
 from repro.measurement.noise import (
     gaussian_noise,
+    gaussian_noise_into,
     quantization_noise_rms,
     transient_residual_sigma,
 )
@@ -186,8 +187,65 @@ class AcquisitionCampaign:
         matrix = np.empty((len(seeds), len(power)), dtype=np.float64)
         for row, seed in enumerate(seeds):
             rng = np.random.default_rng(self.config.seed if seed is None else seed)
-            matrix[row] = power + gaussian_noise(rng, sigma, len(power))
+            # In-place: noise straight into the row, then add the shared
+            # power template -- bit-identical to ``power + gaussian_noise``
+            # without one temporary row allocation per repetition.
+            gaussian_noise_into(rng, sigma, matrix[row])
+            matrix[row] += power
         return matrix
+
+    # -- chip-level entry points --------------------------------------------------
+
+    def measure_chip(
+        self,
+        chip,
+        num_cycles: int,
+        watermark_active: bool = True,
+        power_seed: Optional[int] = None,
+        seed: Optional[int] = None,
+        watermark_phase_offset: int = 0,
+        detailed: bool = False,
+    ) -> MeasuredTrace:
+        """Measure a chip's total power directly (one acquisition).
+
+        Convenience wrapper over ``chip.total_power(...)`` followed by
+        :meth:`measure`; because the chip's background power is served from
+        the chip-level template cache, repeated acquisitions of the same
+        chip configuration skip both the M0 window simulation and the
+        background block-activity draws entirely.
+        """
+        power = chip.total_power(
+            num_cycles,
+            watermark_active=watermark_active,
+            seed=power_seed,
+            watermark_phase_offset=watermark_phase_offset,
+        )
+        return self.measure(power, seed=seed, detailed=detailed)
+
+    def measure_chip_many(
+        self,
+        chip,
+        num_cycles: int,
+        seeds: Sequence[Optional[int]],
+        watermark_active: bool = True,
+        power_seed: Optional[int] = None,
+        watermark_phase_offset: int = 0,
+        detailed: bool = False,
+    ) -> np.ndarray:
+        """Measure a chip's total power once per seed into a trial matrix.
+
+        The chip behaviour (power trace) is computed once -- through the
+        chip-level background template cache -- and only the measurement
+        noise differs per row, exactly as on the bench where the same
+        program loops during every acquisition.
+        """
+        power = chip.total_power(
+            num_cycles,
+            watermark_active=watermark_active,
+            seed=power_seed,
+            watermark_phase_offset=watermark_phase_offset,
+        )
+        return self.measure_many(power, seeds, detailed=detailed)
 
     def _measure_detailed(self, power_trace: PowerTrace, seed: Optional[int]) -> MeasuredTrace:
         rng = np.random.default_rng(seed)

@@ -19,20 +19,52 @@ tractable in pure Python.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Hashable, Optional
 
 import numpy as np
 
+from repro.caching import LRUCache
 from repro.core.architectures import WatermarkArchitecture
 from repro.power.estimator import PowerEstimator
 from repro.power.trace import PowerTrace
 from repro.rtl.activity import ActivityTrace
 from repro.soc.bus import SystemBus
-from repro.soc.cpu import CortexM0Like
+from repro.soc.cpu import CortexM0Like, cached_window_trace, program_fingerprint
 from repro.soc.memory import Memory
 from repro.soc.multicore import BackgroundIPBlocks, IdleDualCoreA5Like
 from repro.soc.workloads import dhrystone_like_program
 from repro.soc.assembler import Program
+
+
+# -- chip-level background-power template cache --------------------------------
+#
+# The background power of a chip is a deterministic function of the chip
+# configuration, the background seed and the acquisition length: the M0
+# window simulation is keyed by the program, and the stochastic peripheral
+# / A5 draws come from seeded generators.  Fig. 5/6 panels, robustness
+# sweeps and `measure_many` campaigns all re-request the same background,
+# so the per-cycle template is computed once and shared.
+#
+# Each distinct ``num_cycles`` is its own cache class: the block-activity
+# generators draw normals, uniforms and integers in length-dependent order,
+# so truncating a longer template would *not* be bit-identical to drawing
+# the shorter trace directly -- and bit-identity with the pre-cache
+# implementation is the contract pinned by the equivalence suite.
+
+#: Upper bound on retained background templates (LRU eviction beyond this).
+BACKGROUND_TEMPLATE_CACHE_MAX_ENTRIES = 32
+
+_BACKGROUND_TEMPLATE_CACHE = LRUCache(lambda: BACKGROUND_TEMPLATE_CACHE_MAX_ENTRIES)
+
+
+def clear_background_template_cache() -> None:
+    """Explicitly drop every cached background-power template."""
+    _BACKGROUND_TEMPLATE_CACHE.clear()
+
+
+def background_template_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters plus current size of the template cache."""
+    return _BACKGROUND_TEMPLATE_CACHE.stats()
 
 
 @dataclass(frozen=True)
@@ -100,7 +132,44 @@ class ChipModel:
 
     # -- activity traces --------------------------------------------------------
 
-    def m0_activity(self, num_cycles: int, seed: Optional[int] = None) -> ActivityTrace:
+    def _m0_window_cache_key(self, window: int) -> Hashable:
+        """Cache key of the simulated M0 window.
+
+        Covers everything the window simulation depends on: the program
+        (instructions, labels, entry point *and* initial memory image, via
+        :func:`repro.soc.cpu.program_fingerprint`), the window length, the
+        core's structural activity model and the memory configuration.
+        """
+        return (
+            "m0-window",
+            program_fingerprint(self.program),
+            window,
+            self.cpu.activity,
+            self.cpu.name,
+            self.description.sram_bytes,
+        )
+
+    def _simulate_m0_window(self, window: int) -> ActivityTrace:
+        """Cycle-accurately simulate the M0 window in a pristine environment.
+
+        A fresh core/bus/memory triple is used so the simulated window is a
+        pure function of the program and configuration -- exactly what a
+        newly built chip would produce -- and therefore safe to share
+        across chip instances through the module-level window cache.
+        """
+        memory = Memory(size_bytes=self.description.sram_bytes)
+        bus = SystemBus()
+        bus.attach(memory)
+        if self.program.data_words:
+            memory.load_words(self.program.data_words)
+        cpu = CortexM0Like(
+            self.program, bus, activity_model=self.cpu.activity, name=self.cpu.name
+        )
+        return cpu.run_cycles(window)
+
+    def m0_activity(
+        self, num_cycles: int, seed: Optional[int] = None, use_cache: bool = True
+    ) -> ActivityTrace:
         """Activity of the Cortex-M0-class core (plus bus/SRAM) over ``num_cycles``.
 
         The core is simulated cycle-accurately for a representative window
@@ -109,13 +178,19 @@ class ChipModel:
         loop is not phase-locked to the acquisition window; without them an
         exactly periodic background could alias into the watermark-period
         phase bins and bias the CPA noise floor.
+
+        The simulated window is shared across chip instances through the
+        module-level cache in :mod:`repro.soc.cpu` (keyed by program
+        identity and window length); ``use_cache=False`` forces a fresh
+        cycle-accurate run, which is bit-identical by construction.
         """
         window = min(num_cycles, self.description.m0_window_cycles)
-        self.cpu.reset()
-        self.bus.reset()
-        if self.program.data_words:
-            self.memory.load_words(self.program.data_words)
-        trace = self.cpu.run_cycles(window)
+        if use_cache:
+            trace = cached_window_trace(
+                self._m0_window_cache_key(window), lambda: self._simulate_m0_window(window)
+            )
+        else:
+            trace = self._simulate_m0_window(window)
         if window >= num_cycles:
             return trace
         rng = np.random.default_rng(self.seed if seed is None else seed)
@@ -139,11 +214,13 @@ class ChipModel:
             comb_toggles=trace.comb_toggles[index],
         )
 
-    def background_activity(self, num_cycles: int, seed: Optional[int] = None) -> Dict[str, ActivityTrace]:
+    def background_activity(
+        self, num_cycles: int, seed: Optional[int] = None, use_cache: bool = True
+    ) -> Dict[str, ActivityTrace]:
         """Per-contributor background activity (everything except the watermark)."""
         seed = self.seed if seed is None else seed
         traces = {
-            "m0": self.m0_activity(num_cycles, seed=seed),
+            "m0": self.m0_activity(num_cycles, seed=seed, use_cache=use_cache),
             "peripherals": self.peripherals.activity_trace(num_cycles, seed=seed + 1),
         }
         if self.a5_subsystem is not None:
@@ -152,15 +229,91 @@ class ChipModel:
 
     # -- power traces -------------------------------------------------------------
 
-    def background_power(self, num_cycles: int, seed: Optional[int] = None) -> PowerTrace:
-        """Power consumed by the functional system over ``num_cycles``."""
-        traces = self.background_activity(num_cycles, seed=seed)
-        static = self.estimator.leakage_of({"dff": self.system_register_count()})
-        return self.estimator.combined_power_trace(
-            traces,
-            cell_types={"m0": "dff", "peripherals": "dff", "a5": "dff"},
-            static_w=static,
+    def _estimator_fingerprint(self) -> Hashable:
+        """Hashable identity of the power model (operating point + library).
+
+        The library is fingerprinted by value (name, voltage and every
+        cell's characteristics), not by name alone: two same-named but
+        differently calibrated libraries must never alias one cached
+        template.
+        """
+        point = self.estimator.operating_point
+        library = self.estimator.library
+        return (
+            point.clock.frequency_hz,
+            point.voltage_v,
+            point.temperature_c,
+            library.name,
+            library.voltage_v,
+            tuple(sorted(library.cells.items())),
+        )
+
+    def _background_template_key(self, num_cycles: int, seed: int) -> Hashable:
+        """Cache key of the seeded background-power template.
+
+        Covers the chip configuration (description, program identity, core
+        activity model, background-block parameters), the power model
+        (operating point and cell library, by value) and the seeded
+        acquisition class ``(seed, num_cycles)``.
+        """
+        return (
+            "background-power",
+            self.description,
+            program_fingerprint(self.program),
+            self.cpu.activity,
+            self.peripherals.parameters,
+            self.a5_subsystem.parameters if self.a5_subsystem is not None else None,
+            self._estimator_fingerprint(),
+            seed,
+            num_cycles,
+        )
+
+    def background_power(
+        self, num_cycles: int, seed: Optional[int] = None, use_cache: bool = True
+    ) -> PowerTrace:
+        """Power consumed by the functional system over ``num_cycles``.
+
+        Static leakage covers the chip's full cell inventory
+        (:meth:`system_cell_inventory`: flip-flops, combinational cells and
+        the SRAM array), matching how the watermark architectures and the
+        Table I analysis compute leakage from ``leakage_of(cell_inventory())``.
+
+        The per-cycle template is cached per ``(chip configuration, seed,
+        num_cycles)`` -- see the module docstring of the template cache --
+        so repeated acquisitions of the same background reuse one array.
+        ``use_cache=False`` recomputes from scratch (bit-identical by
+        construction; the equivalence suite pins this).
+        """
+        resolved_seed = self.seed if seed is None else seed
+
+        def compute() -> PowerTrace:
+            traces = self.background_activity(
+                num_cycles, seed=resolved_seed, use_cache=use_cache
+            )
+            static = self.estimator.leakage_of(self.system_cell_inventory())
+            return self.estimator.combined_power_trace(
+                traces,
+                cell_types={"m0": "dff", "peripherals": "dff", "a5": "dff"},
+                static_w=static,
+                name=f"{self.name}/background",
+            )
+
+        if not use_cache:
+            return compute()
+
+        def compute_template() -> np.ndarray:
+            template = compute().power_w
+            template.flags.writeable = False
+            return template
+
+        power_w = _BACKGROUND_TEMPLATE_CACHE.get_or_compute(
+            self._background_template_key(num_cycles, resolved_seed), compute_template
+        )
+        return PowerTrace(
             name=f"{self.name}/background",
+            clock=self.estimator.operating_point.clock,
+            power_w=power_w,
+            voltage_v=self.estimator.operating_point.voltage_v,
         )
 
     def watermark_power(self, num_cycles: int, phase_offset: int = 0) -> PowerTrace:
@@ -182,6 +335,7 @@ class ChipModel:
         watermark_active: bool = True,
         seed: Optional[int] = None,
         watermark_phase_offset: int = 0,
+        use_cache: bool = True,
     ) -> PowerTrace:
         """Total device power: background plus (optionally) the watermark.
 
@@ -195,7 +349,7 @@ class ChipModel:
         phase, which is why the paper's correlation peaks appear at
         arbitrary rotations (~3,800 on chip I, ~2,400 on chip II).
         """
-        background = self.background_power(num_cycles, seed=seed)
+        background = self.background_power(num_cycles, seed=seed, use_cache=use_cache)
         if not watermark_active or self.watermark is None:
             return PowerTrace(
                 name=f"{self.name}/total",

@@ -19,11 +19,13 @@ exactly the "noise" the CPA detector has to overcome in the paper.
 
 from __future__ import annotations
 
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.caching import LRUCache
 from repro.rtl.activity import ActivityRecord, ActivityTrace
 from repro.rtl.components import CLOCK_EDGES_PER_CYCLE
 from repro.rtl.signals import hamming_distance
@@ -41,6 +43,82 @@ from repro.soc.isa import (
 )
 
 _WORD_MASK = 0xFFFFFFFF
+
+
+# -- shared M0 window cache ----------------------------------------------------
+#
+# Every ``ChipModel.m0_activity`` call used to re-run the cycle-accurate
+# window simulation -- the last O(cycles) Python loop on the generation
+# side.  The simulated window is a pure function of the program (including
+# its initial memory image), the window length and the structural
+# configuration of the core/bus, so one simulation can be shared by every
+# chip instance that executes the same program.  The cache is keyed by a
+# caller-built tuple (see ``ChipModel._m0_window_cache_key``) whose program
+# component comes from :func:`program_fingerprint`, which is what
+# invalidates entries when the program text or memory image differs.
+
+#: Upper bound on retained window traces (LRU eviction beyond this).
+M0_WINDOW_CACHE_MAX_ENTRIES = 32
+
+_M0_WINDOW_CACHE = LRUCache(lambda: M0_WINDOW_CACHE_MAX_ENTRIES)
+
+
+def program_fingerprint(program: Program) -> Hashable:
+    """Hashable identity of a program *and* its initial memory image.
+
+    Two programs share a fingerprint exactly when they decode to the same
+    instruction stream (opcodes, operands, conditions), branch labels,
+    entry point and ``.word`` data section -- i.e. when a cycle-accurate
+    run from reset is guaranteed to produce the same activity.  Used as
+    the program component of the shared M0 window-cache key, so a changed
+    program or memory image can never alias a stale cached window.
+    """
+    instructions = tuple(
+        (
+            instruction.opcode.value,
+            tuple((operand.kind, operand.value) for operand in instruction.operands),
+            instruction.condition.value,
+        )
+        for instruction in program.instructions
+    )
+    return (
+        program.entry_point,
+        instructions,
+        tuple(sorted(program.labels.items())),
+        tuple(sorted(program.data_words.items())),
+    )
+
+
+def _frozen_trace_copy(trace: ActivityTrace) -> ActivityTrace:
+    """A read-only snapshot of a trace (shared cache entries must not mutate)."""
+    arrays = {}
+    for attr in ("clock_toggles", "data_toggles", "comb_toggles"):
+        array = np.array(getattr(trace, attr), dtype=np.int64)
+        array.flags.writeable = False
+        arrays[attr] = array
+    return ActivityTrace(name=trace.name, **arrays)
+
+
+def cached_window_trace(
+    key: Hashable, simulate: Callable[[], ActivityTrace]
+) -> ActivityTrace:
+    """The cached activity window for ``key``, simulating on a miss.
+
+    The returned trace shares read-only arrays with the cache, so callers
+    can gather/index freely but cannot corrupt other chips' view of the
+    window.
+    """
+    return _M0_WINDOW_CACHE.get_or_compute(key, lambda: _frozen_trace_copy(simulate()))
+
+
+def clear_m0_window_cache() -> None:
+    """Explicitly drop every cached M0 window (and reset the hit counters)."""
+    _M0_WINDOW_CACHE.clear()
+
+
+def m0_window_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters plus current size of the window cache."""
+    return _M0_WINDOW_CACHE.stats()
 
 
 @dataclass(frozen=True)
@@ -94,9 +172,17 @@ class CPUActivityModel:
 
 @dataclass
 class ExecutionStats:
-    """Aggregate execution statistics of a run."""
+    """Aggregate execution statistics of a run.
+
+    ``cycles`` counts only cycles during which the core was running the
+    program; cycles stepped after ``halt`` are tracked separately in
+    ``halted_cycles`` so CPI and cycle-count consumers are not inflated by
+    post-halt idle stepping (the core is still clocked while halted, which
+    matters for power but not for execution statistics).
+    """
 
     cycles: int = 0
+    halted_cycles: int = 0
     instructions: int = 0
     branches: int = 0
     taken_branches: int = 0
@@ -104,8 +190,13 @@ class ExecutionStats:
     halted: bool = False
 
     @property
+    def total_cycles(self) -> int:
+        """All stepped cycles, including post-halt idle cycles."""
+        return self.cycles + self.halted_cycles
+
+    @property
     def cpi(self) -> float:
-        """Cycles per instruction."""
+        """Cycles per instruction (excluding post-halt idle cycles)."""
         if self.instructions == 0:
             return 0.0
         return self.cycles / self.instructions
@@ -222,9 +313,10 @@ class CortexM0Like:
 
     def step_cycle(self) -> ActivityRecord:
         """Advance the core by exactly one clock cycle."""
-        self.stats.cycles += 1
         if self.halted:
+            self.stats.halted_cycles += 1
             return self.activity.idle_activity()
+        self.stats.cycles += 1
         if self._stall_cycles > 0:
             self._stall_cycles -= 1
             activity = self._pending_activity or self.activity.idle_activity()

@@ -1,0 +1,47 @@
+"""Unit tests for the shared LRU get-or-compute cache (repro.caching)."""
+
+import pytest
+
+from repro.caching import LRUCache
+
+
+class TestLRUCache:
+    def test_miss_computes_then_hit_reuses(self):
+        cache = LRUCache(4)
+        calls = []
+        value = cache.get_or_compute("k", lambda: calls.append(1) or "v")
+        again = cache.get_or_compute("k", lambda: calls.append(1) or "other")
+        assert value == again == "v"
+        assert len(calls) == 1
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0, "entries": 1}
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: None)  # refresh "a"
+        cache.get_or_compute("c", lambda: 3)  # evicts "b", the least recent
+        assert cache.get_or_compute("a", lambda: "recomputed") == 1
+        assert cache.get_or_compute("b", lambda: "recomputed") == "recomputed"
+        assert cache.stats()["evictions"] == 2
+
+    def test_callable_bound_is_read_at_insertion(self):
+        bound = {"n": 3}
+        cache = LRUCache(lambda: bound["n"])
+        for key in range(3):
+            cache.get_or_compute(key, lambda: key)
+        assert len(cache) == 3
+        bound["n"] = 1
+        cache.get_or_compute("new", lambda: 0)
+        assert len(cache) == 1
+
+    def test_clear_resets_everything(self):
+        cache = LRUCache(2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+
+    def test_non_positive_bound_rejected(self):
+        cache = LRUCache(0)
+        with pytest.raises(ValueError):
+            cache.get_or_compute("a", lambda: 1)

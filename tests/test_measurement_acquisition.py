@@ -121,3 +121,47 @@ class TestMeasureMany:
     def test_requires_at_least_one_seed(self, campaign, clock):
         with pytest.raises(ValueError):
             campaign.measure_many(make_power_trace(clock), seeds=[])
+
+
+class TestMeasureChip:
+    """Chip-level entry points routed through the cached background templates."""
+
+    @pytest.fixture(scope="class")
+    def chip(self):
+        from repro.core.architectures import ClockModulationWatermark
+        from repro.core.config import WatermarkConfig
+        from repro.soc.chip import build_chip_one
+
+        watermark = ClockModulationWatermark.from_config(
+            WatermarkConfig(lfsr_width=8, lfsr_seed=0x2D)
+        )
+        return build_chip_one(watermark=watermark, m0_window_cycles=512)
+
+    def test_measure_chip_equals_manual_chain(self, campaign, chip):
+        power = chip.total_power(
+            2000, watermark_active=True, seed=6, watermark_phase_offset=40
+        )
+        expected = campaign.measure(power, seed=9)
+        measured = campaign.measure_chip(
+            chip, 2000, power_seed=6, seed=9, watermark_phase_offset=40
+        )
+        assert np.array_equal(measured.values, expected.values)
+
+    def test_measure_chip_many_rows_equal_measure_chip(self, campaign, chip):
+        seeds = [11, 12, 13]
+        matrix = campaign.measure_chip_many(
+            chip, 2000, seeds=seeds, power_seed=6, watermark_phase_offset=40
+        )
+        assert matrix.shape == (3, 2000)
+        for row, seed in enumerate(seeds):
+            single = campaign.measure_chip(
+                chip, 2000, power_seed=6, seed=seed, watermark_phase_offset=40
+            )
+            assert np.array_equal(matrix[row], single.values)
+
+    def test_measure_chip_without_watermark(self, campaign, chip):
+        active = campaign.measure_chip(chip, 1000, power_seed=2, seed=3)
+        inactive = campaign.measure_chip(
+            chip, 1000, watermark_active=False, power_seed=2, seed=3
+        )
+        assert active.values.mean() > inactive.values.mean()

@@ -5,6 +5,7 @@ import pytest
 
 from repro.measurement.noise import (
     gaussian_noise,
+    gaussian_noise_into,
     quantization_noise_rms,
     transient_residual_sigma,
 )
@@ -27,6 +28,36 @@ class TestGaussianNoise:
             gaussian_noise(rng, -1.0, 10)
         with pytest.raises(ValueError):
             gaussian_noise(rng, 1.0, -1)
+
+
+class TestGaussianNoiseInto:
+    def test_bit_identical_to_allocating_variant(self):
+        expected = gaussian_noise(np.random.default_rng(42), 1.7e-3, 5000)
+        out = np.empty(5000)
+        result = gaussian_noise_into(np.random.default_rng(42), 1.7e-3, out)
+        assert result is out
+        assert np.array_equal(out, expected)
+
+    def test_row_of_matrix_filled_in_place(self):
+        matrix = np.full((3, 1000), np.nan)
+        gaussian_noise_into(np.random.default_rng(1), 2.0, matrix[1])
+        assert np.all(np.isnan(matrix[0]))
+        assert np.all(np.isfinite(matrix[1]))
+        assert np.array_equal(matrix[1], gaussian_noise(np.random.default_rng(1), 2.0, 1000))
+
+    def test_zero_rms_zeroes_without_consuming_draws(self):
+        rng = np.random.default_rng(3)
+        out = np.ones(10)
+        gaussian_noise_into(rng, 0.0, out)
+        assert np.all(out == 0)
+        # The generator state is untouched, exactly like gaussian_noise.
+        assert np.array_equal(
+            rng.standard_normal(4), np.random.default_rng(3).standard_normal(4)
+        )
+
+    def test_negative_rms_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_noise_into(np.random.default_rng(0), -1.0, np.empty(4))
 
 
 class TestQuantizationNoise:

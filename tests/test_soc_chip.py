@@ -96,6 +96,23 @@ class TestActivityAndPower:
         # A 65 nm microcontroller SoC at 10 MHz: single-digit milliwatts.
         assert 0.5e-3 < power.average_power_w < 20e-3
 
+    def test_background_static_uses_full_cell_inventory(self, chip1):
+        # Regression: static leakage used to be computed from
+        # {"dff": system_register_count()} only, undercounting the comb and
+        # SRAM cells that system_cell_inventory() itself reports (and that
+        # the watermark architectures and Table I include via
+        # leakage_of(cell_inventory())).
+        background = chip1.background_power(64, seed=9, use_cache=False)
+        traces = chip1.background_activity(64, seed=9)
+        dynamic = np.zeros(64)
+        for trace in traces.values():
+            dynamic += chip1.estimator.dynamic_model.power_per_cycle("dff", trace)
+        static = background.power_w - dynamic
+        expected = chip1.estimator.leakage_of(chip1.system_cell_inventory())
+        assert np.allclose(static, expected, rtol=1e-9, atol=0)
+        dff_only = chip1.estimator.leakage_of({"dff": chip1.system_register_count()})
+        assert expected > dff_only
+
 
 class TestM0ActivityGather:
     """The modular-index gather must reproduce the np.roll tiling exactly."""

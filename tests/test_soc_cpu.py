@@ -197,6 +197,31 @@ class TestTimingAndActivity:
         assert idle.clock_toggles == 2 * cpu.activity.always_clocked_registers
         assert idle.data_toggles == 0
 
+    def test_halted_cycles_do_not_inflate_cycle_count(self):
+        # Regression: post-halt idle stepping used to increment
+        # ``stats.cycles`` and therefore inflate CPI for ``run_until_halt``
+        # callers that keep stepping (e.g. fixed-length activity windows).
+        cpu = run("main:\n mov r0, #1\n add r0, r0, #2\n halt")
+        executed_cycles = cpu.stats.cycles
+        executed_instructions = cpu.stats.instructions
+        cpi_at_halt = cpu.stats.cpi
+        assert cpu.stats.halted_cycles == 0
+        for _ in range(25):
+            cpu.step_cycle()
+        assert cpu.stats.cycles == executed_cycles
+        assert cpu.stats.instructions == executed_instructions
+        assert cpu.stats.halted_cycles == 25
+        assert cpu.stats.total_cycles == executed_cycles + 25
+        assert cpu.stats.cpi == cpi_at_halt
+
+    def test_run_cycles_on_halted_core_counts_only_idle(self):
+        cpu = run("main:\n halt")
+        executed = cpu.stats.cycles
+        trace = cpu.run_cycles(40)
+        assert len(trace) == 40
+        assert cpu.stats.cycles == executed
+        assert cpu.stats.halted_cycles == 40
+
     def test_activity_trace_length(self):
         cpu = make_cpu("main:\n mov r0, #1\n b main")
         trace = cpu.run_cycles(200)
