@@ -1,0 +1,129 @@
+"""Benchmark: registry-driven sweep vs independent legacy drivers.
+
+Acceptance pin for the scenario/pipeline API: running four scenarios on one
+chip through ``ExperimentRunner.run_many`` (one runner, shared chip
+instances, shared M0-window / background-template caches) must complete
+faster than the same four scenarios run as independent legacy drivers,
+where each driver starts cold (caches cleared, as separate processes
+would).  The reports must be identical in both modes -- the sweep buys
+time, not different numbers.
+"""
+
+import os
+import time
+
+from record import record_benchmark
+
+from repro.core.config import MeasurementConfig
+from repro.experiments import run_fig3
+from repro.experiments.fig5 import run_fig5_panel
+from repro.experiments.fig6 import run_fig6_chip
+from repro.pipeline import DEFAULT_REGISTRY, ExperimentRunner, RunOptions
+from repro.soc import chip as chip_module
+from repro.soc import cpu as cpu_module
+
+NUM_CYCLES = 60_000
+REPETITIONS = 10
+MIN_SPEEDUP = 1.2
+
+RELAXED = os.environ.get("REPRO_BENCH_RELAXED") == "1"
+
+
+def _clear_module_caches() -> None:
+    cpu_module.clear_m0_window_cache()
+    chip_module.clear_background_template_cache()
+
+
+def _options() -> RunOptions:
+    return RunOptions(quick=True, cycles=NUM_CYCLES, repetitions=REPETITIONS)
+
+
+def _sweep_specs():
+    options = _options()
+    return [
+        DEFAULT_REGISTRY.build("fig5/chip1-active", options),
+        DEFAULT_REGISTRY.build("fig5/chip1-inactive", options),
+        DEFAULT_REGISTRY.build("fig6/chip1", options),
+        DEFAULT_REGISTRY.build("fig3", options),
+    ]
+
+
+def _run_legacy_drivers():
+    """The same four scenarios as stand-alone drivers, each starting cold."""
+    config = DEFAULT_REGISTRY.build("fig5", _options()).experiment_config
+    reports = []
+    _clear_module_caches()
+    panel = run_fig5_panel("chip1", True, config=config, seed=100)
+    reports.append(f"[{panel.label}] {panel.cpa.summary()}")
+    _clear_module_caches()
+    # Seed 150 is what the composite Fig. 5 driver hands its chip-I control
+    # panel (active seed + 50), i.e. the same cell the sweep runs.
+    panel = run_fig5_panel("chip1", False, config=config, seed=150)
+    reports.append(f"[{panel.label}] {panel.cpa.summary()}")
+    _clear_module_caches()
+    chip_result = run_fig6_chip(
+        "chip1", repetitions=REPETITIONS, config=config, base_seed=1_000
+    )
+    reports.append(f"detection rate = {chip_result.detection_rate * 100:.0f}%")
+    _clear_module_caches()
+    fig3 = run_fig3(config=config, seed=7)
+    reports.append(fig3.to_text())
+    return reports
+
+
+def test_bench_pipeline_sweep_beats_independent_drivers(report):
+    specs = _sweep_specs()
+    assert len(specs) >= 4
+    assert all(spec.chip in (None, "chip1") for spec in specs)
+
+    start = time.perf_counter()
+    legacy_reports = _run_legacy_drivers()
+    legacy_s = time.perf_counter() - start
+
+    _clear_module_caches()
+    runner = ExperimentRunner()
+    start = time.perf_counter()
+    sweep = runner.run_many(specs)
+    sweep_s = time.perf_counter() - start
+
+    # Same numbers, just faster: the sweep's panel/campaign outcomes must
+    # match what the independent drivers computed.
+    assert sweep.results[0].report == legacy_reports[0]
+    assert sweep.results[1].report == legacy_reports[1]
+    detection_rate = sweep.results[2].scalars["detection_rate"]
+    assert f"detection rate = {detection_rate * 100:.0f}%" == legacy_reports[2]
+    assert sweep.results[3].report == legacy_reports[3]
+
+    speedup = legacy_s / sweep_s if sweep_s > 0 else float("inf")
+    chip_stats = runner.chip_cache_stats()
+    window_stats = cpu_module.m0_window_cache_stats()
+    lines = [
+        f"independent legacy drivers (cold each): {legacy_s:.2f} s",
+        f"registry sweep via run_many:            {sweep_s:.2f} s",
+        f"speedup: {speedup:.2f}x (floor {MIN_SPEEDUP}x, relaxed={RELAXED})",
+        f"runner chip cache: {chip_stats}",
+        f"M0 window cache:   {window_stats}",
+    ]
+    report("Scenario sweep: shared pipeline caches vs independent drivers", "\n".join(lines))
+    record_benchmark(
+        "pipeline_sweep",
+        {
+            "num_cycles": NUM_CYCLES,
+            "scenarios": len(specs),
+            "legacy_s": round(legacy_s, 4),
+            "sweep_s": round(sweep_s, 4),
+            "speedup": round(speedup, 2),
+            "relaxed": RELAXED,
+        },
+    )
+
+    # The sweep shares one chip per configuration; the M0 window must have
+    # been simulated once, not once per scenario.
+    assert window_stats["misses"] <= 2
+    if not RELAXED:
+        assert speedup >= MIN_SPEEDUP, (
+            f"registry sweep ({sweep_s:.2f} s) should beat independent "
+            f"drivers ({legacy_s:.2f} s) by at least {MIN_SPEEDUP}x, got {speedup:.2f}x"
+        )
+    else:
+        assert sweep_s <= legacy_s * 1.5, "sweep should not be slower than drivers"

@@ -25,13 +25,24 @@ The package is organised as follows:
     Area, overhead and removal-attack robustness analysis.
 ``repro.experiments``
     One driver per paper table/figure (Fig. 2, 3, 5, 6; Tables I, II;
-    Section VI robustness).
+    Section VI robustness) -- thin shims over the scenario pipeline.
+``repro.pipeline``
+    The declarative scenario layer: frozen, serializable
+    :class:`repro.core.spec.ScenarioSpec`, the pipeline runner
+    (``ExperimentRunner.run`` / ``run_many``), typed result artifacts and
+    the named-experiment registry behind ``python -m repro run``.
 
 Quickstart
 ----------
 >>> from repro.experiments import run_table2
 >>> result = run_table2()
 >>> round(result.headline_reduction, 2)
+0.98
+
+Or declaratively, via the scenario registry:
+
+>>> from repro.pipeline import run_scenario
+>>> round(run_scenario("table2").scalars["headline_reduction"], 2)
 0.98
 """
 
@@ -49,8 +60,16 @@ from repro.detection import BatchCPADetector, CPADetector, SpreadSpectrum
 from repro.measurement import AcquisitionCampaign
 from repro.power import PowerEstimator
 from repro.soc import build_chip_one, build_chip_two
+from repro.pipeline import (
+    DEFAULT_REGISTRY,
+    ExperimentRunner,
+    ScenarioResult,
+    ScenarioSpec,
+    SweepResult,
+    run_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LFSR",
@@ -68,5 +87,11 @@ __all__ = [
     "PowerEstimator",
     "build_chip_one",
     "build_chip_two",
+    "DEFAULT_REGISTRY",
+    "ExperimentRunner",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepResult",
+    "run_scenario",
     "__version__",
 ]

@@ -230,6 +230,21 @@ class MaskingAttack:
     compat_draw_order: bool = True
     gaussian_dtype: object = np.float64
 
+    @classmethod
+    def with_synthesis(cls, synthesis, **kwargs) -> "MaskingAttack":
+        """An attack whose trial-synthesis knobs come from a declarative
+        :class:`repro.core.config.SynthesisConfig` (as carried by a
+        :class:`repro.core.spec.ScenarioSpec`)."""
+        from repro.analysis.masking import sweep_kwargs_from_synthesis
+
+        mapped = sweep_kwargs_from_synthesis(synthesis)
+        overlap = set(mapped) & set(kwargs)
+        if overlap:
+            raise ValueError(
+                f"pass {sorted(overlap)} via the SynthesisConfig, not as keywords"
+            )
+        return cls(**kwargs, **mapped)
+
     def sweep_noise_injection(
         self,
         sequence: np.ndarray,

@@ -24,9 +24,23 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.config import DetectionConfig
+from repro.core.config import DetectionConfig, SynthesisConfig
 from repro.detection.batch import BatchCPADetector, BatchCPAResult
 from repro.power.synthesis import TraceSynthesizer
+
+
+def sweep_kwargs_from_synthesis(synthesis: SynthesisConfig) -> dict:
+    """Map a declarative :class:`SynthesisConfig` onto the sweep keywords.
+
+    Used by the pipeline stages (and anyone driving the sweeps from a
+    :class:`repro.core.spec.ScenarioSpec`) so the spec's serialized dtype
+    name becomes the actual numpy dtype the engines expect.
+    """
+    return {
+        "max_trials_per_chunk": synthesis.max_trials_per_chunk,
+        "compat_draw_order": synthesis.compat_draw_order,
+        "gaussian_dtype": np.dtype(synthesis.gaussian_dtype),
+    }
 
 
 @dataclass(frozen=True)

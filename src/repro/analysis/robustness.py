@@ -22,8 +22,8 @@ from typing import Optional
 import numpy as np
 
 from repro.analysis.attacks import AttackOutcome, MaskingAttack, RemovalAttack
-from repro.analysis.masking import MaskingStudy
-from repro.core.config import DetectionConfig
+from repro.analysis.masking import MaskingStudy, sweep_kwargs_from_synthesis
+from repro.core.config import DetectionConfig, SynthesisConfig
 from repro.core.embedding import EmbeddedWatermark
 
 
@@ -122,6 +122,7 @@ def assess_detection_robustness(
     seed: int = 0,
     compat_draw_order: Optional[bool] = None,
     gaussian_dtype: Optional[object] = None,
+    synthesis: Optional[SynthesisConfig] = None,
 ) -> DetectionRobustnessAssessment:
     """Sweep masking attacks against the watermark's detectability.
 
@@ -137,7 +138,20 @@ def assess_detection_robustness(
     campaign-scale sweeps); an explicitly passed ``attack`` already
     carries them, so combining both is rejected rather than silently
     ignoring the keywords.
+
+    ``synthesis`` accepts the declarative
+    :class:`repro.core.config.SynthesisConfig` a
+    :class:`repro.core.spec.ScenarioSpec` carries; it expands to the
+    same trial-synthesis knobs and is mutually exclusive with passing
+    ``compat_draw_order``/``gaussian_dtype`` directly.
     """
+    if synthesis is not None and (
+        compat_draw_order is not None or gaussian_dtype is not None
+    ):
+        raise ValueError(
+            "pass the trial-synthesis knobs either via 'synthesis' or as "
+            "individual keywords, not both"
+        )
     overrides = {
         key: value
         for key, value in {
@@ -149,6 +163,8 @@ def assess_detection_robustness(
         }.items()
         if value is not None
     }
+    if synthesis is not None:
+        overrides.update(sweep_kwargs_from_synthesis(synthesis))
     if attack is None:
         attack = MaskingAttack(**overrides)
     elif overrides:

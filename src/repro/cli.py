@@ -1,112 +1,45 @@
 """Command-line interface for the reproduction.
 
-Runs the paper's experiments from a terminal::
+Registry-driven: every paper experiment (and the extra campaign scenarios)
+is a named :class:`repro.core.spec.ScenarioSpec` in
+:data:`repro.pipeline.DEFAULT_REGISTRY`, and the CLI resolves names through
+one :class:`repro.pipeline.ExperimentRunner`::
 
-    python -m repro table2
-    python -m repro fig5 --cycles 100000
-    python -m repro fig6 --repetitions 25
+    python -m repro list                      # what can run
+    python -m repro run fig5 --quick          # one scenario by name
+    python -m repro run my_spec.json          # ... or from a spec file
+    python -m repro sweep fig3 fig5 fig6      # batched, shared caches
+    python -m repro table2                    # legacy spelling, same report
     python -m repro all --quick
 
-Each sub-command prints the same text report the benchmark harness produces,
-so the CLI is the quickest way to regenerate a single table or figure
-without involving pytest.
+Legacy sub-commands (``fig2`` ... ``robustness``, ``all``) print the same
+text reports as before, bit for bit.  ``--seed`` overrides a scenario's
+default seed and ``--json <path>`` writes the machine-readable result
+artifact (spec, scalars, provenance, report), so sweeps are scriptable
+without pytest; ``--save <path>`` additionally persists the arrays to a
+sibling ``.npz``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
-from typing import Callable, Dict, List, Optional
+import time
+from typing import List, Optional
 
-from repro.core.config import ExperimentConfig, MeasurementConfig
-from repro.experiments import (
-    run_fig2,
-    run_fig3,
-    run_fig5,
-    run_fig6,
-    run_robustness,
-    run_table1,
-    run_table2,
-)
+from repro.core.config import QUICK_CYCLES, QUICK_REPETITIONS  # noqa: F401 (re-export)
+from repro.pipeline.artifacts import SweepResult
+from repro.pipeline.registry import DEFAULT_REGISTRY, RunOptions
+from repro.pipeline.runner import ExperimentRunner
 
-#: Acquisition length used by ``--quick`` runs.
-QUICK_CYCLES = 60_000
-#: Repetition count used by ``--quick`` runs of the Fig. 6 campaign.
-QUICK_REPETITIONS = 20
+#: The pre-registry sub-commands, in the order ``all`` executes them.
+LEGACY_EXPERIMENTS = ("fig2", "fig3", "fig5", "fig6", "robustness", "table1", "table2")
 
 
-def _build_config(args: argparse.Namespace) -> ExperimentConfig:
-    """Experiment configuration honouring ``--cycles`` / ``--quick``."""
-    cycles = args.cycles
-    if cycles is None:
-        cycles = QUICK_CYCLES if args.quick else MeasurementConfig().num_cycles
-    if args.quick:
-        measurement = MeasurementConfig(
-            num_cycles=cycles,
-            transient_noise_floor_w=0.020,
-            transient_noise_fraction=0.4,
-        )
-    else:
-        measurement = MeasurementConfig(num_cycles=cycles)
-    return ExperimentConfig(measurement=measurement)
-
-
-def _cmd_fig2(args: argparse.Namespace) -> str:
-    return run_fig2().to_text()
-
-
-def _cmd_fig3(args: argparse.Namespace) -> str:
-    return run_fig3(config=_build_config(args)).to_text()
-
-
-def _cmd_fig5(args: argparse.Namespace) -> str:
-    return run_fig5(config=_build_config(args)).to_text()
-
-
-def _cmd_fig6(args: argparse.Namespace) -> str:
-    repetitions = args.repetitions
-    if repetitions is None:
-        repetitions = QUICK_REPETITIONS if args.quick else 100
-    return run_fig6(repetitions=repetitions, config=_build_config(args)).to_text()
-
-
-def _cmd_table1(args: argparse.Namespace) -> str:
-    return run_table1().to_text()
-
-
-def _cmd_table2(args: argparse.Namespace) -> str:
-    return run_table2().to_text()
-
-
-def _cmd_robustness(args: argparse.Namespace) -> str:
-    return run_robustness().to_text()
-
-
-_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
-    "fig2": _cmd_fig2,
-    "fig3": _cmd_fig3,
-    "fig5": _cmd_fig5,
-    "fig6": _cmd_fig6,
-    "table1": _cmd_table1,
-    "table2": _cmd_table2,
-    "robustness": _cmd_robustness,
-}
-
-
-def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Reproduction of 'Clock-Modulation Based Watermark for Protection of "
-            "Embedded Processors' (DATE 2014): regenerate the paper's tables and figures."
-        ),
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which table/figure to regenerate ('all' runs every experiment)",
-    )
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every scenario-running sub-command."""
     parser.add_argument(
         "--cycles",
         type=int,
@@ -124,7 +57,224 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reduced acquisition length and noise for a fast demonstration run",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the scenario's default seed",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable result artifact (JSON) to PATH",
+    )
+    parser.add_argument(
+        "--save",
+        dest="save_path",
+        default=None,
+        metavar="PATH",
+        help="save the full result artifact (JSON + .npz arrays) under PATH",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Clock-Modulation Based Watermark for Protection of "
+            "Embedded Processors' (DATE 2014): regenerate the paper's tables and "
+            "figures, or run any registered scenario."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="experiment", required=True, metavar="command")
+
+    list_parser = subparsers.add_parser(
+        "list", help="list every registered scenario"
+    )
+    list_parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the scenario listing as JSON to PATH",
+    )
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one scenario by registry name or from a spec JSON file"
+    )
+    run_parser.add_argument(
+        "scenario", help="registry name (see 'list') or path to a spec .json"
+    )
+    _add_scenario_options(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run several scenarios through one runner (shared chips and caches)",
+    )
+    sweep_parser.add_argument(
+        "scenarios",
+        nargs="+",
+        help="registry names and/or spec .json paths, in execution order",
+    )
+    _add_scenario_options(sweep_parser)
+
+    for name in LEGACY_EXPERIMENTS + ("all",):
+        legacy = subparsers.add_parser(
+            name,
+            help=(
+                "run every paper experiment"
+                if name == "all"
+                else f"regenerate the paper's {name}"
+            ),
+        )
+        _add_scenario_options(legacy)
     return parser
+
+
+def _run_options(args: argparse.Namespace) -> RunOptions:
+    return RunOptions(
+        quick=getattr(args, "quick", False),
+        cycles=getattr(args, "cycles", None),
+        repetitions=getattr(args, "repetitions", None),
+        seed=getattr(args, "seed", None),
+    )
+
+
+def _write_json(path: str, payload) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _print_banner(label: str, value: str) -> None:
+    print("=" * 78)
+    print(f"{label}: {value}")
+    print("=" * 78)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    entries = DEFAULT_REGISTRY.entries()
+    width = max(len(entry.name) for entry in entries)
+    ref_width = max(len(entry.paper_ref) for entry in entries)
+    for entry in entries:
+        print(f"{entry.name:<{width}}  {entry.paper_ref:<{ref_width}}  {entry.title}")
+    if args.json_path:
+        _write_json(
+            args.json_path,
+            [
+                {"name": e.name, "paper_ref": e.paper_ref, "title": e.title}
+                for e in entries
+            ],
+        )
+    return 0
+
+
+def _resolve_all(runner: ExperimentRunner, args, names) -> List:
+    """Resolve registry names and spec files, honouring the CLI options.
+
+    Registry entries consume :class:`RunOptions` through their factories;
+    specs loaded from ``.json`` files get the explicitly passed options
+    applied as overrides: ``--seed``/``--repetitions`` replace the spec's
+    values, ``--quick`` replaces its measurement with the quick preset,
+    and a bare ``--cycles`` changes only the acquisition length while
+    keeping the spec's other bench fields.
+    """
+    options = _run_options(args)
+    specs = []
+    for name in names:
+        if DEFAULT_REGISTRY.has(name):
+            specs.append(DEFAULT_REGISTRY.build(name, options))
+        else:
+            spec = runner.resolve(name)
+            changes = {}
+            if options.seed is not None:
+                changes["seed"] = options.seed
+            if options.repetitions is not None:
+                changes["repetitions"] = options.repetitions
+            if options.quick:
+                changes["measurement"] = options.measurement()
+            elif options.cycles is not None:
+                changes["measurement"] = dataclasses.replace(
+                    spec.measurement, num_cycles=options.cycles
+                )
+            specs.append(spec.with_overrides(**changes) if changes else spec)
+    return specs
+
+
+def _resolve_or_exit(
+    parser: argparse.ArgumentParser,
+    runner: ExperimentRunner,
+    args: argparse.Namespace,
+    names,
+) -> List:
+    """Resolve scenario arguments, reporting bad names/files as usage errors.
+
+    Only *resolution* failures become argparse errors; failures during
+    execution propagate with their full context.
+    """
+    try:
+        return _resolve_all(runner, args, names)
+    except (KeyError, ValueError, FileNotFoundError) as error:
+        parser.error(str(error))
+
+
+def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    spec = _resolve_or_exit(parser, runner, args, [args.scenario])[0]
+    result = runner.run(spec)
+    _print_banner("scenario", result.name)
+    print(result.report)
+    print()
+    print(f"spec hash: {result.spec.spec_hash()[:12]}  elapsed: {result.provenance.elapsed_s:.2f} s")
+    if args.json_path:
+        _write_json(args.json_path, result.to_json_dict())
+    if args.save_path:
+        result.save(args.save_path)
+    return 0
+
+
+def _cmd_sweep(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    specs = _resolve_or_exit(parser, runner, args, args.scenarios)
+    sweep = runner.run_many(specs)
+    print(sweep.to_text())
+    if args.json_path:
+        _write_json(args.json_path, sweep.to_json_dict())
+    if args.save_path:
+        sweep.save(args.save_path)
+    return 0
+
+
+def _cmd_legacy(args: argparse.Namespace) -> int:
+    names = LEGACY_EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    options = _run_options(args)
+    runner = ExperimentRunner()
+    results = []
+    start = time.perf_counter()
+    for name in names:
+        result = runner.run(DEFAULT_REGISTRY.build(name, options))
+        results.append(result)
+        _print_banner("experiment", name)
+        print(result.report)
+        print()
+    elapsed = time.perf_counter() - start
+    if len(results) == 1:
+        if args.json_path:
+            _write_json(args.json_path, results[0].to_json_dict())
+        if args.save_path:
+            results[0].save(args.save_path)
+    else:
+        # Same machine-readable shape as the `sweep` command, so scripts
+        # can parse `all --json` and `sweep --json` identically.
+        sweep = SweepResult(results=results, elapsed_s=elapsed)
+        if args.json_path:
+            _write_json(args.json_path, sweep.to_json_dict())
+        if args.save_path:
+            sweep.save(args.save_path)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -132,19 +282,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.cycles is not None and args.cycles <= 0:
+    if getattr(args, "cycles", None) is not None and args.cycles <= 0:
         parser.error("--cycles must be positive")
-    if args.repetitions is not None and args.repetitions <= 0:
+    if getattr(args, "repetitions", None) is not None and args.repetitions <= 0:
         parser.error("--repetitions must be positive")
 
-    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print("=" * 78)
-        print(f"experiment: {name}")
-        print("=" * 78)
-        print(_COMMANDS[name](args))
-        print()
-    return 0
+    try:
+        if args.experiment == "list":
+            return _cmd_list(args)
+        if args.experiment == "run":
+            return _cmd_run(parser, args)
+        if args.experiment == "sweep":
+            return _cmd_sweep(parser, args)
+        return _cmd_legacy(args)
+    except BrokenPipeError:
+        # stdout was piped into something like `head` that exited early.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -3,8 +3,38 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Optional
+
+#: Acquisition length used by ``--quick`` runs (CLI and registry presets).
+QUICK_CYCLES = 60_000
+#: Repetition count used by ``--quick`` runs of the Fig. 6 campaign.
+QUICK_REPETITIONS = 20
+#: Reduced transient-noise knobs of the quick preset: shorter acquisitions
+#: need a cleaner bench to keep the correlation peak resolvable.
+QUICK_TRANSIENT_NOISE_FLOOR_W = 0.020
+QUICK_TRANSIENT_NOISE_FRACTION = 0.4
+
+
+def _config_to_dict(config: Any) -> Dict[str, Any]:
+    """Serialize a configuration dataclass into a JSON-able dict."""
+    payload = asdict(config)
+    for key, value in payload.items():
+        if isinstance(value, enum.Enum):
+            payload[key] = value.value
+    return payload
+
+
+def _config_from_dict(cls: type, payload: Dict[str, Any]) -> Any:
+    """Rebuild a configuration dataclass from :func:`_config_to_dict` output."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    kwargs = dict(payload)
+    if "architecture" in kwargs and not isinstance(kwargs["architecture"], ArchitectureKind):
+        kwargs["architecture"] = ArchitectureKind(kwargs["architecture"])
+    return cls(**kwargs)
 
 
 class ArchitectureKind(enum.Enum):
@@ -56,6 +86,15 @@ class WatermarkConfig:
     def bank_registers(self) -> int:
         """Total register count of the clock-modulated bank."""
         return self.num_words * self.word_width
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able representation (the architecture enum becomes its value)."""
+        return _config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WatermarkConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return _config_from_dict(cls, payload)
 
 
 @dataclass(frozen=True)
@@ -118,6 +157,35 @@ class MeasurementConfig:
         """Oscilloscope samples averaged into one per-cycle power value."""
         return int(round(self.sampling_frequency_hz / self.clock_frequency_hz))
 
+    @classmethod
+    def quick(cls, num_cycles: Optional[int] = None) -> "MeasurementConfig":
+        """The ``--quick`` preset: short acquisition, reduced transient noise.
+
+        Shared by the CLI and the scenario registry so a quick run means the
+        same bench everywhere.
+        """
+        return cls(
+            num_cycles=QUICK_CYCLES if num_cycles is None else num_cycles,
+            transient_noise_floor_w=QUICK_TRANSIENT_NOISE_FLOOR_W,
+            transient_noise_fraction=QUICK_TRANSIENT_NOISE_FRACTION,
+        )
+
+    @classmethod
+    def full(cls, num_cycles: Optional[int] = None) -> "MeasurementConfig":
+        """The paper-scale preset, optionally with an overridden length."""
+        if num_cycles is None:
+            return cls()
+        return cls(num_cycles=num_cycles)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able representation."""
+        return _config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MeasurementConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return _config_from_dict(cls, payload)
+
 
 @dataclass(frozen=True)
 class DetectionConfig:
@@ -140,6 +208,46 @@ class DetectionConfig:
         if not 0.0 < self.uniqueness_margin <= 1.0:
             raise ValueError("uniqueness margin must be in (0, 1]")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able representation."""
+        return _config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DetectionConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return _config_from_dict(cls, payload)
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Knobs of the vectorized trial-synthesis engine.
+
+    ``compat_draw_order=True`` keeps the per-row random stream bit-identical
+    to the original per-trial loops (golden curves); ``False`` selects the
+    fast chunked Gaussian path.  ``gaussian_dtype`` is stored as a dtype
+    *name* so specs stay JSON-serializable.  ``max_trials_per_chunk`` bounds
+    how many trial rows a sweep materialises at once.
+    """
+
+    compat_draw_order: bool = True
+    gaussian_dtype: str = "float64"
+    max_trials_per_chunk: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.gaussian_dtype not in ("float64", "float32"):
+            raise ValueError("gaussian_dtype must be 'float64' or 'float32'")
+        if self.max_trials_per_chunk is not None and self.max_trials_per_chunk <= 0:
+            raise ValueError("max_trials_per_chunk must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able representation."""
+        return _config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SynthesisConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return _config_from_dict(cls, payload)
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -158,3 +266,28 @@ class ExperimentConfig:
     def fast(cls, num_cycles: int = 40_000) -> "ExperimentConfig":
         """A reduced-length configuration for quick tests and CI runs."""
         return cls(measurement=MeasurementConfig(num_cycles=num_cycles))
+
+    @classmethod
+    def quick(cls, num_cycles: Optional[int] = None) -> "ExperimentConfig":
+        """The CLI's ``--quick`` bundle (see :meth:`MeasurementConfig.quick`)."""
+        return cls(measurement=MeasurementConfig.quick(num_cycles))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able nested representation."""
+        return {
+            "watermark": self.watermark.to_dict(),
+            "measurement": self.measurement.to_dict(),
+            "detection": self.detection.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        unknown = set(payload) - {"watermark", "measurement", "detection"}
+        if unknown:
+            raise ValueError(f"unknown ExperimentConfig fields: {sorted(unknown)}")
+        return cls(
+            watermark=WatermarkConfig.from_dict(payload.get("watermark", {})),
+            measurement=MeasurementConfig.from_dict(payload.get("measurement", {})),
+            detection=DetectionConfig.from_dict(payload.get("detection", {})),
+        )

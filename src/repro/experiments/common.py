@@ -10,7 +10,8 @@ from repro.core.architectures import (
     WatermarkArchitecture,
 )
 from repro.core.config import ArchitectureKind, ExperimentConfig, WatermarkConfig
-from repro.soc.chip import ChipModel, build_chip_one, build_chip_two
+from repro.soc.chip import ChipModel
+from repro.soc.registry import build_registered_chip
 
 
 def build_watermark(config: Optional[WatermarkConfig] = None) -> WatermarkArchitecture:
@@ -27,15 +28,18 @@ def build_chip(
     watermark: Optional[WatermarkArchitecture] = None,
     m0_window_cycles: int = 16_384,
 ) -> ChipModel:
-    """Build chip I or chip II with the paper's watermark configuration."""
+    """Build a registered chip with the paper's watermark configuration.
+
+    Chip names resolve through :mod:`repro.soc.registry` (canonical names
+    plus declared aliases); unknown names raise a ``ValueError`` listing
+    every valid spelling.
+    """
     config = config or ExperimentConfig.paper_defaults()
     if watermark is None:
         watermark = build_watermark(config.watermark)
-    if chip_name in ("chip1", "chipI", "chip_one", "1"):
-        return build_chip_one(watermark=watermark, m0_window_cycles=m0_window_cycles)
-    if chip_name in ("chip2", "chipII", "chip_two", "2"):
-        return build_chip_two(watermark=watermark, m0_window_cycles=m0_window_cycles)
-    raise ValueError(f"unknown chip name {chip_name!r}; expected 'chip1' or 'chip2'")
+    return build_registered_chip(
+        chip_name, watermark=watermark, m0_window_cycles=m0_window_cycles
+    )
 
 
 def paper_expectations() -> Dict[str, Dict]:

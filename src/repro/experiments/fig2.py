@@ -81,6 +81,34 @@ def run_fig2(
 ) -> Fig2Result:
     """Reproduce the Fig. 2 functional simulation.
 
+    Thin shim over the scenario pipeline: builds the ``fig2`` spec and
+    executes it through :class:`repro.pipeline.ExperimentRunner` (the
+    report and arrays are bit-identical to the pre-pipeline driver).
+    """
+    from repro.core.spec import ScenarioSpec
+    from repro.pipeline.runner import run_scenario
+
+    spec = ScenarioSpec(
+        kind="fig2",
+        name="fig2",
+        seed=seed,
+        params={
+            "num_cycles": num_cycles,
+            "register_count": register_count,
+            "lfsr_width": lfsr_width,
+        },
+    )
+    return run_scenario(spec).payload
+
+
+def _compute_fig2(
+    num_cycles: int,
+    register_count: int,
+    lfsr_width: int,
+    seed: int,
+) -> Fig2Result:
+    """The Fig. 2 functional simulation (pipeline stage body).
+
     Both architectures use the same small WGC (so the WMARK waveforms are
     identical) and a power-pattern producer of ``register_count`` registers
     (the paper's illustration uses an 8-bit load register).

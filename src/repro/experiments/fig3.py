@@ -15,8 +15,6 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import ExperimentConfig
-from repro.experiments.common import build_chip
-from repro.measurement.acquisition import AcquisitionCampaign
 from repro.power.trace import PowerTrace
 
 
@@ -92,23 +90,25 @@ def run_fig3(
     chip_name: str = "chip1",
     seed: int = 7,
 ) -> Fig3Result:
-    """Reproduce the Fig. 3 simulation on the chip I model."""
+    """Reproduce the Fig. 3 simulation on the chip I model.
+
+    Thin shim over the scenario pipeline (chip → power → acquisition
+    stages); the report and arrays are bit-identical to the pre-pipeline
+    driver.
+    """
+    from repro.core.spec import ScenarioSpec
+    from repro.pipeline.runner import run_scenario
+
     config = config or ExperimentConfig.paper_defaults()
-    chip = build_chip(chip_name, config=config, m0_window_cycles=min(num_cycles, 8_192))
-    system = chip.background_power(num_cycles, seed=seed)
-    watermark = chip.watermark_power(num_cycles)
-    total = system.add(watermark)
-    total = PowerTrace(
-        name=f"{chip.name}/total",
-        clock=total.clock,
-        power_w=total.power_w,
-        voltage_v=total.voltage_v,
+    spec = ScenarioSpec(
+        kind="fig3",
+        name="fig3",
+        chip=chip_name,
+        watermark=config.watermark,
+        measurement=config.measurement,
+        detection=config.detection,
+        seed=seed,
+        m0_window_cycles=min(num_cycles, 8_192),
+        params={"num_cycles": num_cycles},
     )
-    campaign = AcquisitionCampaign(config.measurement)
-    measured = campaign.measure(total, seed=seed)
-    return Fig3Result(
-        system_power=system,
-        watermark_power=watermark,
-        total_power=total,
-        measured_total_power=measured.values,
-    )
+    return run_scenario(spec).payload

@@ -12,13 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro.core.config import ExperimentConfig
-from repro.detection.cpa import CPADetector, CPAResult
+from repro.detection.cpa import CPAResult
 from repro.detection.spread_spectrum import SpreadSpectrum
-from repro.experiments.common import build_chip
-from repro.measurement.acquisition import AcquisitionCampaign
 
 
 @dataclass
@@ -96,38 +92,34 @@ def run_fig5_panel(
     m0_window_cycles: int = 16_384,
     phase_offset: Optional[int] = None,
 ) -> Fig5Panel:
-    """Produce one panel of Fig. 5."""
+    """Produce one panel of Fig. 5.
+
+    Thin shim over the scenario pipeline (chip → acquisition → detection
+    stages); the chip-level acquisition behind the pipeline is served from
+    the shared background-template and M0-window caches, so the four
+    panels -- and any repeated runs -- share one cycle-accurate core
+    simulation per (program, window).  Bit-identical to the pre-pipeline
+    driver for canonical chip names; alias spellings ("chipI", "1", ...)
+    now canonicalise first, so they behave exactly like the canonical
+    name instead of silently falling back to the generic phase offset.
+    """
+    from repro.core.spec import ScenarioSpec
+    from repro.pipeline.runner import run_scenario
+
     config = config or ExperimentConfig.paper_defaults()
-    chip = build_chip(chip_name, config=config, m0_window_cycles=m0_window_cycles)
-    num_cycles = config.measurement.num_cycles
-    if phase_offset is None:
-        period = config.watermark.sequence_period
-        phase_offset = int(_PAPER_PHASE_FRACTION.get(chip_name, 0.5) * period)
-    # One chip-level acquisition: the background power behind this call is
-    # served from the chip-level template cache (and the M0 window from the
-    # shared window cache), so the four panels -- and any repeated runs --
-    # share one cycle-accurate core simulation per (program, window).
-    campaign = AcquisitionCampaign(config.measurement)
-    measured = campaign.measure_chip(
-        chip,
-        num_cycles,
+    spec = ScenarioSpec(
+        kind="fig5_panel",
+        name=f"fig5/{chip_name}-{'active' if watermark_active else 'inactive'}",
+        chip=chip_name,
+        watermark=config.watermark,
+        measurement=config.measurement,
+        detection=config.detection,
         watermark_active=watermark_active,
-        power_seed=seed,
         seed=seed,
-        watermark_phase_offset=phase_offset,
+        phase_offset=phase_offset,
+        m0_window_cycles=m0_window_cycles,
     )
-    detector = CPADetector(config.detection)
-    sequence = chip.watermark_sequence()
-    cpa = detector.detect(sequence, measured.values)
-    spectrum = SpreadSpectrum(
-        label=_panel_key(chip_name, watermark_active), correlations=cpa.correlations
-    )
-    return Fig5Panel(
-        chip_name=chip_name,
-        watermark_active=watermark_active,
-        spectrum=spectrum,
-        cpa=cpa,
-    )
+    return run_scenario(spec).payload
 
 
 def run_fig5(
@@ -135,17 +127,18 @@ def run_fig5(
     seed: int = 100,
     m0_window_cycles: int = 16_384,
 ) -> Fig5Result:
-    """Reproduce all four panels of Fig. 5."""
+    """Reproduce all four panels of Fig. 5 (pipeline shim)."""
+    from repro.core.spec import ScenarioSpec
+    from repro.pipeline.runner import run_scenario
+
     config = config or ExperimentConfig.paper_defaults()
-    result = Fig5Result(config=config)
-    for chip_name in ("chip1", "chip2"):
-        for active in (True, False):
-            panel = run_fig5_panel(
-                chip_name,
-                watermark_active=active,
-                config=config,
-                seed=seed + (0 if active else 50) + (0 if chip_name == "chip1" else 7),
-                m0_window_cycles=m0_window_cycles,
-            )
-            result.panels[_panel_key(chip_name, active)] = panel
-    return result
+    spec = ScenarioSpec(
+        kind="fig5",
+        name="fig5",
+        watermark=config.watermark,
+        measurement=config.measurement,
+        detection=config.detection,
+        seed=seed,
+        m0_window_cycles=m0_window_cycles,
+    )
+    return run_scenario(spec).payload

@@ -9,16 +9,10 @@ every repetition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, Optional
 
 from repro.core.config import ExperimentConfig
-from repro.detection.batch import BatchCPADetector
 from repro.detection.statistics import BoxPlotStats, RepetitionStatistics
-from repro.experiments.common import build_chip
-from repro.experiments.fig5 import _PAPER_PHASE_FRACTION
-from repro.measurement.acquisition import AcquisitionCampaign
 
 
 @dataclass
@@ -98,58 +92,34 @@ def run_fig6_chip(
 ) -> Fig6ChipResult:
     """Run the repeated-measurement campaign for one chip.
 
-    The repeated acquisitions are detected in batches of
+    Thin shim over the scenario pipeline (chip → campaign → statistics
+    stages).  The repeated acquisitions are detected in batches of
     ``max_repetitions_per_batch`` traces: the measurement noise differs per
     repetition, but all repetitions share one CPA pass per batch, which
     bounds the trace-matrix memory at full paper scale (300,000 cycles).
+    Bit-identical to the pre-pipeline driver.
     """
+    from repro.core.spec import ScenarioSpec
+    from repro.pipeline.runner import run_scenario
+
     if repetitions <= 0:
         raise ValueError("repetitions must be positive")
     if max_repetitions_per_batch <= 0:
         raise ValueError("max_repetitions_per_batch must be positive")
     config = config or ExperimentConfig.paper_defaults()
-    chip = build_chip(chip_name, config=config, m0_window_cycles=m0_window_cycles)
-    num_cycles = config.measurement.num_cycles
-    period = config.watermark.sequence_period
-    phase_offset = int(_PAPER_PHASE_FRACTION.get(chip_name, 0.5) * period)
-
-    # The chip's behaviour is the same in every acquisition (the same
-    # program loops on the core); only the measurement noise differs.  The
-    # total-power trace behind every batch comes from the chip-level
-    # background template cache, so only the first batch pays any power
-    # synthesis at all.
-    campaign = AcquisitionCampaign(config.measurement)
-    detector = BatchCPADetector(config.detection)
-    sequence = chip.watermark_sequence()
-
-    runs: List[np.ndarray] = []
-    detections: List[bool] = []
-    for start in range(0, repetitions, max_repetitions_per_batch):
-        stop = min(repetitions, start + max_repetitions_per_batch)
-        # Whole-batch synthesis: the acquisition chain statistics are
-        # computed once and each repetition contributes one noise row
-        # (bit-identical to measuring repetition by repetition).
-        trace_matrix = campaign.measure_chip_many(
-            chip,
-            num_cycles,
-            seeds=range(base_seed + start, base_seed + stop),
-            watermark_active=True,
-            power_seed=base_seed,
-            watermark_phase_offset=phase_offset,
-        )
-        batch = detector.detect_many(sequence, trace_matrix)
-        runs.extend(batch.correlations)
-        detections.extend(bool(flag) for flag in batch.detected)
-
-    statistics = RepetitionStatistics.from_correlation_runs(
-        chip_name, runs, detected_flags=detections
+    spec = ScenarioSpec(
+        kind="fig6_chip",
+        name=f"fig6/{chip_name}",
+        chip=chip_name,
+        watermark=config.watermark,
+        measurement=config.measurement,
+        detection=config.detection,
+        seed=base_seed,
+        repetitions=repetitions,
+        m0_window_cycles=m0_window_cycles,
+        params={"max_repetitions_per_batch": max_repetitions_per_batch},
     )
-    return Fig6ChipResult(
-        chip_name=chip_name,
-        statistics=statistics,
-        peak_box=statistics.peak_box(),
-        off_peak_box=statistics.off_peak_box(),
-    )
+    return run_scenario(spec).payload
 
 
 def run_fig6(
@@ -158,15 +128,21 @@ def run_fig6(
     base_seed: int = 1000,
     m0_window_cycles: int = 16_384,
 ) -> Fig6Result:
-    """Reproduce Fig. 6 for both chips."""
+    """Reproduce Fig. 6 for both chips (pipeline shim)."""
+    from repro.core.spec import ScenarioSpec
+    from repro.pipeline.runner import run_scenario
+
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
     config = config or ExperimentConfig.paper_defaults()
-    result = Fig6Result(config=config, repetitions=repetitions)
-    for chip_name in ("chip1", "chip2"):
-        result.chips[chip_name] = run_fig6_chip(
-            chip_name,
-            repetitions=repetitions,
-            config=config,
-            base_seed=base_seed + (0 if chip_name == "chip1" else 500),
-            m0_window_cycles=m0_window_cycles,
-        )
-    return result
+    spec = ScenarioSpec(
+        kind="fig6",
+        name="fig6",
+        watermark=config.watermark,
+        measurement=config.measurement,
+        detection=config.detection,
+        seed=base_seed,
+        repetitions=repetitions,
+        m0_window_cycles=m0_window_cycles,
+    )
+    return run_scenario(spec).payload

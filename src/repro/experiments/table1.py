@@ -85,7 +85,36 @@ def run_table1(
     estimator: Optional[PowerEstimator] = None,
     config: Optional[WatermarkConfig] = None,
 ) -> Table1Result:
-    """Reproduce Table I with the activity-based power estimator."""
+    """Reproduce Table I with the activity-based power estimator.
+
+    Thin shim over the scenario pipeline when the default (nominal)
+    estimator is used; a custom ``estimator`` object cannot be expressed
+    in a serializable spec, so that path computes directly.
+    """
+    if estimator is None:
+        from repro.core.spec import ScenarioSpec
+        from repro.pipeline.runner import run_scenario
+
+        spec = ScenarioSpec(
+            kind="table1",
+            name="table1",
+            watermark=config or WatermarkConfig(),
+            params={"switching_register_counts": list(switching_register_counts)},
+        )
+        return run_scenario(spec).payload
+    return _compute_table1(
+        switching_register_counts=switching_register_counts,
+        estimator=estimator,
+        config=config,
+    )
+
+
+def _compute_table1(
+    switching_register_counts: Sequence[int],
+    estimator: Optional[PowerEstimator],
+    config: Optional[WatermarkConfig],
+) -> Table1Result:
+    """The Table I computation (pipeline stage body)."""
     estimator = estimator or PowerEstimator.at_nominal()
     base_config = config or WatermarkConfig()
     result = Table1Result()

@@ -60,6 +60,37 @@ def run_table2(
 ) -> Table2Result:
     """Reproduce Table II.
 
+    Thin shim over the scenario pipeline when the default (nominal)
+    estimator is used; a custom ``estimator`` object cannot be expressed
+    in a serializable spec, so that path computes directly.
+    """
+    if estimator is None:
+        from repro.core.spec import ScenarioSpec
+        from repro.pipeline.runner import run_scenario
+
+        spec = ScenarioSpec(
+            kind="table2",
+            name="table2",
+            params={
+                "load_powers_w": list(load_powers_w),
+                "wgc_registers": wgc_registers,
+            },
+        )
+        return run_scenario(spec).payload
+    return _compute_table2(
+        load_powers_w=load_powers_w,
+        wgc_registers=wgc_registers,
+        estimator=estimator,
+    )
+
+
+def _compute_table2(
+    load_powers_w: Sequence[float],
+    wgc_registers: int,
+    estimator: Optional[PowerEstimator],
+) -> Table2Result:
+    """The Table II computation (pipeline stage body).
+
     The per-register sizing coefficients are taken from the power
     estimator (rather than hard-coded), which cross-checks that the
     activity-based power model reproduces the paper's published

@@ -92,6 +92,11 @@ class AcquisitionCampaign:
             adc_bits=self.config.adc_bits,
         )
 
+    @classmethod
+    def from_spec(cls, spec) -> "AcquisitionCampaign":
+        """Build the acquisition chain a :class:`ScenarioSpec` describes."""
+        return cls(spec.measurement)
+
     # -- noise bookkeeping -----------------------------------------------------
 
     def per_cycle_noise_sigma(self, mean_power_w: float, full_scale_v: float) -> float:

@@ -1,0 +1,42 @@
+"""Declarative scenario pipeline: specs in, typed result artifacts out.
+
+The public surface:
+
+* :class:`repro.core.spec.ScenarioSpec` -- a frozen, JSON-serializable
+  experiment description (re-exported here for convenience);
+* :class:`Pipeline` / :class:`ExperimentRunner` -- resolve a spec into
+  chip → acquisition → synthesis → detection stages and execute single
+  specs or batched sweeps (``run_many``) through the shared caches;
+* :class:`ScenarioResult` / :class:`SweepResult` -- typed artifacts with
+  JSON/``.npz`` round-trip and provenance stamps;
+* :data:`DEFAULT_REGISTRY` -- every paper figure/table (plus campaign
+  scenarios) as a named spec factory.
+"""
+
+from repro.core.spec import ScenarioSpec
+from repro.pipeline.artifacts import Provenance, ScenarioResult, SweepResult
+from repro.pipeline.registry import (
+    DEFAULT_REGISTRY,
+    ExperimentRegistry,
+    RegistryEntry,
+    RunOptions,
+)
+from repro.pipeline.runner import ExperimentRunner, Pipeline, run_scenario
+from repro.pipeline.stages import PipelineStage, StageContext, registered_kinds
+
+__all__ = [
+    "ScenarioSpec",
+    "Provenance",
+    "ScenarioResult",
+    "SweepResult",
+    "DEFAULT_REGISTRY",
+    "ExperimentRegistry",
+    "RegistryEntry",
+    "RunOptions",
+    "ExperimentRunner",
+    "Pipeline",
+    "run_scenario",
+    "PipelineStage",
+    "StageContext",
+    "registered_kinds",
+]

@@ -1,0 +1,282 @@
+"""Typed result artifacts produced by the pipeline runner.
+
+A :class:`ScenarioResult` bundles everything one scenario run produced:
+
+* the :class:`repro.core.spec.ScenarioSpec` that was executed,
+* ``scalars`` -- JSON-able headline metrics,
+* ``arrays`` -- named numpy arrays (correlation spectra, traces, ...),
+* ``report`` -- the human-readable text report (bit-identical to what the
+  legacy driver printed),
+* ``provenance`` -- spec hash, commit, environment, timings.
+
+Artifacts round-trip through a JSON file plus a sibling ``.npz`` for the
+arrays: ``ScenarioResult.load(result.save(path))`` reproduces every array
+bit-exactly.  A :class:`SweepResult` is an ordered collection of scenario
+results sharing one artifact pair.
+"""
+
+from __future__ import annotations
+
+import datetime
+import functools
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.spec import ScenarioSpec
+
+PathLike = Union[str, pathlib.Path]
+
+_ARTIFACT_SCHEMA_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def current_commit() -> str:
+    """The repository's HEAD commit, or ``"unknown"`` outside a checkout.
+
+    Cached per process: provenance stamping must not pay one subprocess
+    per scenario in a large sweep.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def environment_stamp() -> Dict[str, str]:
+    """The runtime environment recorded into every artifact."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a result came from: spec identity, code version, environment."""
+
+    spec_hash: str
+    commit: str = field(default_factory=current_commit)
+    environment: Dict[str, str] = field(default_factory=environment_stamp)
+    created_at: str = ""
+    elapsed_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.created_at:
+            stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            )
+            object.__setattr__(self, "created_at", stamp)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-able representation."""
+        return {
+            "spec_hash": self.spec_hash,
+            "commit": self.commit,
+            "environment": dict(self.environment),
+            "created_at": self.created_at,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "Provenance":
+        """Rebuild from :meth:`to_json_dict` output."""
+        return cls(
+            spec_hash=payload["spec_hash"],
+            commit=payload.get("commit", "unknown"),
+            environment=dict(payload.get("environment", {})),
+            created_at=payload.get("created_at", ""),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        )
+
+
+def _json_path(path: PathLike) -> pathlib.Path:
+    path = pathlib.Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(path.suffix + ".json") if path.suffix else path.with_suffix(".json")
+    return path
+
+
+def _npz_path(json_path: pathlib.Path) -> pathlib.Path:
+    return json_path.with_suffix(".npz")
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one executed scenario produced."""
+
+    spec: ScenarioSpec
+    provenance: Provenance
+    scalars: Dict[str, Any] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    report: str = ""
+    #: The legacy result object (``Fig5Result``, ``Table1Result``, ...).
+    #: Not serialized; ``None`` after :meth:`load`.
+    payload: Any = None
+
+    @property
+    def name(self) -> str:
+        """Scenario name (falls back to the kind)."""
+        return self.spec.name or self.spec.kind
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-able representation (array *metadata* only, data lives in .npz)."""
+        return {
+            "schema_version": _ARTIFACT_SCHEMA_VERSION,
+            "spec": self.spec.to_json_dict(),
+            "provenance": self.provenance.to_json_dict(),
+            "scalars": dict(self.scalars),
+            "arrays": {
+                key: {"shape": list(value.shape), "dtype": str(value.dtype)}
+                for key, value in self.arrays.items()
+            },
+            "report": self.report,
+        }
+
+    @classmethod
+    def _from_json_dict(
+        cls, payload: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "ScenarioResult":
+        version = payload.get("schema_version", _ARTIFACT_SCHEMA_VERSION)
+        if version != _ARTIFACT_SCHEMA_VERSION:
+            raise ValueError(f"unsupported artifact schema version {version!r}")
+        return cls(
+            spec=ScenarioSpec.from_json_dict(payload["spec"]),
+            provenance=Provenance.from_json_dict(payload["provenance"]),
+            scalars=dict(payload.get("scalars", {})),
+            arrays=arrays,
+            report=payload.get("report", ""),
+        )
+
+    def save(self, path: PathLike) -> pathlib.Path:
+        """Write ``<path>.json`` (+ sibling ``.npz`` when arrays exist)."""
+        json_path = _json_path(path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = self.to_json_dict()
+        if self.arrays:
+            payload["arrays_file"] = _npz_path(json_path).name
+            np.savez(_npz_path(json_path), **self.arrays)
+        json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return json_path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ScenarioResult":
+        """Read an artifact written by :meth:`save` (arrays bit-exact)."""
+        json_path = _json_path(path)
+        payload = json.loads(json_path.read_text())
+        arrays: Dict[str, np.ndarray] = {}
+        arrays_file = payload.get("arrays_file")
+        if arrays_file:
+            with np.load(json_path.parent / arrays_file, allow_pickle=False) as data:
+                arrays = {key: np.array(data[key]) for key in data.files}
+        return cls._from_json_dict(payload, arrays)
+
+
+@dataclass
+class SweepResult:
+    """An ordered batch of scenario results from one ``run_many`` call."""
+
+    results: List[ScenarioResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> ScenarioResult:
+        return self.results[index]
+
+    def get(self, name: str) -> ScenarioResult:
+        """Look up one result by scenario name."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(
+            f"no result named {name!r}; available: {[r.name for r in self.results]}"
+        )
+
+    @property
+    def names(self) -> List[str]:
+        """Scenario names in execution order."""
+        return [result.name for result in self.results]
+
+    def to_text(self) -> str:
+        """All reports concatenated in execution order."""
+        blocks = []
+        for result in self.results:
+            bar = "=" * 78
+            blocks.append(f"{bar}\nscenario: {result.name}\n{bar}\n{result.report}")
+        summary = (
+            f"sweep of {len(self.results)} scenarios in {self.elapsed_s:.2f} s"
+        )
+        return "\n\n".join(blocks + [summary])
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-able representation of the whole sweep."""
+        return {
+            "schema_version": _ARTIFACT_SCHEMA_VERSION,
+            "elapsed_s": self.elapsed_s,
+            "results": [result.to_json_dict() for result in self.results],
+        }
+
+    def save(self, path: PathLike) -> pathlib.Path:
+        """Write one ``<path>.json`` + one ``.npz`` holding every array.
+
+        Array keys are namespaced ``"<index>/<name>"`` so same-named arrays
+        of different scenarios never collide.
+        """
+        json_path = _json_path(path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = self.to_json_dict()
+        stacked: Dict[str, np.ndarray] = {}
+        for index, result in enumerate(self.results):
+            for key, value in result.arrays.items():
+                stacked[f"{index}/{key}"] = value
+        if stacked:
+            payload["arrays_file"] = _npz_path(json_path).name
+            np.savez(_npz_path(json_path), **stacked)
+        json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return json_path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SweepResult":
+        """Read a sweep artifact written by :meth:`save`."""
+        json_path = _json_path(path)
+        payload = json.loads(json_path.read_text())
+        version = payload.get("schema_version", _ARTIFACT_SCHEMA_VERSION)
+        if version != _ARTIFACT_SCHEMA_VERSION:
+            raise ValueError(f"unsupported artifact schema version {version!r}")
+        stacked: Dict[str, np.ndarray] = {}
+        arrays_file = payload.get("arrays_file")
+        if arrays_file:
+            with np.load(json_path.parent / arrays_file, allow_pickle=False) as data:
+                stacked = {key: np.array(data[key]) for key in data.files}
+        results = []
+        for index, entry in enumerate(payload.get("results", [])):
+            prefix = f"{index}/"
+            arrays = {
+                key[len(prefix):]: value
+                for key, value in stacked.items()
+                if key.startswith(prefix)
+            }
+            results.append(ScenarioResult._from_json_dict(entry, arrays))
+        return cls(results=results, elapsed_s=float(payload.get("elapsed_s", 0.0)))

@@ -1,0 +1,150 @@
+"""The pipeline runner: execute declarative scenario specs.
+
+:class:`Pipeline` resolves one :class:`repro.core.spec.ScenarioSpec` into
+its named stages (see :mod:`repro.pipeline.stages`);
+:class:`ExperimentRunner` executes single specs (:meth:`~ExperimentRunner.run`)
+or whole sweeps (:meth:`~ExperimentRunner.run_many`) and wraps every outcome
+in a typed :class:`repro.pipeline.artifacts.ScenarioResult`.
+
+One runner instance shares work across everything it executes:
+
+* a chip provider caches :class:`repro.soc.chip.ChipModel` instances per
+  (chip, watermark config, workload, M0 window), so a sweep's scenarios
+  reuse one chip -- and therefore one watermark period template -- instead
+  of rebuilding it per scenario;
+* underneath, the module-level M0-window and background-template caches
+  (PR 3) and the batched CPA/synthesis engines (PRs 1-2) do the heavy
+  lifting, which is why a registry-driven sweep beats the same scenarios
+  run as independent drivers (pinned by
+  ``benchmarks/test_bench_pipeline_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.caching import LRUCache
+from repro.core.spec import ScenarioSpec
+from repro.experiments.common import build_watermark
+from repro.pipeline.artifacts import Provenance, ScenarioResult, SweepResult
+from repro.pipeline.stages import PipelineStage, StageContext, stages_for
+from repro.soc.registry import build_registered_chip, workload_program
+
+#: Chip instances retained per runner (LRU beyond this).
+CHIP_CACHE_MAX_ENTRIES = 8
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """A spec resolved into its ordered, named stages."""
+
+    spec: ScenarioSpec
+    stages: Tuple[PipelineStage, ...]
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Pipeline":
+        """Resolve the stage graph for ``spec`` (raises on unknown kinds)."""
+        return cls(spec=spec, stages=tuple(stages_for(spec)))
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        """The stage names in execution order."""
+        return tuple(stage.name for stage in self.stages)
+
+    def execute(self, runner: Optional["ExperimentRunner"] = None) -> ScenarioResult:
+        """Run every stage and assemble the typed result artifact."""
+        runner = runner or ExperimentRunner()
+        start = time.perf_counter()
+        ctx = StageContext(self.spec, runner)
+        for stage in self.stages:
+            stage.run(ctx)
+        elapsed = time.perf_counter() - start
+        if "payload" not in ctx.data:
+            raise RuntimeError(
+                f"pipeline for kind {self.spec.kind!r} finished without a payload"
+            )
+        return ScenarioResult(
+            spec=self.spec,
+            provenance=Provenance(spec_hash=self.spec.spec_hash(), elapsed_s=elapsed),
+            scalars=ctx.data.get("scalars", {}),
+            arrays=ctx.data.get("arrays", {}),
+            report=ctx.data.get("report", ""),
+            payload=ctx.data.get("payload"),
+        )
+
+
+class ExperimentRunner:
+    """Executes scenario specs, sharing chips and caches across a sweep."""
+
+    def __init__(self, chip_cache_entries: int = CHIP_CACHE_MAX_ENTRIES) -> None:
+        self._chips = LRUCache(lambda: chip_cache_entries)
+
+    # -- shared services used by stages ---------------------------------------
+
+    def chip_for(self, spec: ScenarioSpec):
+        """The chip a spec names, cached per configuration within this runner."""
+        if spec.chip is None:
+            raise ValueError(f"scenario kind {spec.kind!r} requires a chip")
+        key = (spec.chip, spec.watermark, spec.workload, spec.m0_window_cycles)
+
+        def build():
+            return build_registered_chip(
+                spec.chip,
+                watermark=build_watermark(spec.watermark),
+                program=workload_program(spec.workload),
+                m0_window_cycles=spec.m0_window_cycles,
+            )
+
+        return self._chips.get_or_compute(key, build)
+
+    def chip_cache_stats(self):
+        """Hit/miss/eviction counters of the runner's chip provider."""
+        return self._chips.stats()
+
+    # -- execution -------------------------------------------------------------
+
+    def resolve(self, scenario: Union[ScenarioSpec, str]) -> ScenarioSpec:
+        """Accept a spec, a registry name, or a path to a spec JSON file."""
+        if isinstance(scenario, ScenarioSpec):
+            return scenario
+        from repro.pipeline.registry import DEFAULT_REGISTRY
+
+        if DEFAULT_REGISTRY.has(scenario):
+            return DEFAULT_REGISTRY.build(scenario)
+        if str(scenario).endswith(".json"):
+            return ScenarioSpec.load(scenario)
+        raise ValueError(
+            f"unknown scenario {scenario!r}: not a registry name "
+            f"(see 'python -m repro list') and not a .json spec path"
+        )
+
+    def run(self, scenario: Union[ScenarioSpec, str]) -> ScenarioResult:
+        """Execute one scenario and return its typed result artifact."""
+        spec = self.resolve(scenario)
+        return Pipeline.from_spec(spec).execute(self)
+
+    def run_many(
+        self, scenarios: Iterable[Union[ScenarioSpec, str]]
+    ) -> SweepResult:
+        """Execute a batch of scenarios through one shared runner.
+
+        Scenarios run in order; chips, M0 windows, background-power
+        templates and watermark period templates are shared across the
+        whole sweep, so N related scenarios cost far less than N
+        independent driver runs.
+        """
+        specs: Sequence[ScenarioSpec] = [self.resolve(s) for s in scenarios]
+        if not specs:
+            raise ValueError("at least one scenario is required")
+        start = time.perf_counter()
+        results: List[ScenarioResult] = [
+            Pipeline.from_spec(spec).execute(self) for spec in specs
+        ]
+        return SweepResult(results=results, elapsed_s=time.perf_counter() - start)
+
+
+def run_scenario(scenario: Union[ScenarioSpec, str]) -> ScenarioResult:
+    """One-shot convenience wrapper: ``ExperimentRunner().run(scenario)``."""
+    return ExperimentRunner().run(scenario)

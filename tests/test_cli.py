@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import QUICK_CYCLES, build_parser, main
+from repro.core.spec import ScenarioSpec
 
 
 class TestParser:
@@ -58,3 +61,90 @@ class TestMain:
     def test_invalid_repetitions_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig6", "--repetitions", "0"])
+
+
+class TestRegistryCommands:
+    def test_list_prints_every_scenario(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fig2", "fig5/chip1-active", "fig6/chip2", "table2", "robustness"):
+            assert name in output
+
+    def test_list_json(self, tmp_path, capsys):
+        path = tmp_path / "scenarios.json"
+        assert main(["list", "--json", str(path)]) == 0
+        capsys.readouterr()
+        entries = json.loads(path.read_text())
+        assert {"name", "paper_ref", "title"} <= set(entries[0])
+        assert any(entry["name"] == "fig5" for entry in entries)
+
+    def test_run_by_name_with_json_output(self, tmp_path, capsys):
+        path = tmp_path / "result.json"
+        assert main(["run", "table2", "--json", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "scenario: table2" in output
+        assert "spec hash:" in output
+        payload = json.loads(path.read_text())
+        assert payload["scalars"]["headline_reduction"] == pytest.approx(0.98, abs=0.01)
+        assert payload["provenance"]["spec_hash"] == ScenarioSpec.from_json_dict(
+            payload["spec"]
+        ).spec_hash()
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        spec_path = ScenarioSpec(kind="fig2", name="from-file", seed=9).save(
+            tmp_path / "spec.json"
+        )
+        assert main(["run", str(spec_path)]) == 0
+        assert "scenario: from-file" in capsys.readouterr().out
+
+    def test_run_spec_file_honours_options(self, tmp_path, capsys):
+        spec_path = ScenarioSpec(kind="fig2", name="from-file", seed=9).save(
+            tmp_path / "spec.json"
+        )
+        out_path = tmp_path / "out.json"
+        assert main(["run", str(spec_path), "--seed", "5", "--json", str(out_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["spec"]["seed"] == 5
+
+    def test_run_save_artifact(self, tmp_path, capsys):
+        target = tmp_path / "artifact"
+        assert main(["run", "fig2", "--save", str(target)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "artifact.json").exists()
+        assert (tmp_path / "artifact.npz").exists()
+
+    def test_run_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_seed_flag_changes_the_spec(self, tmp_path, capsys):
+        default_path = tmp_path / "default.json"
+        seeded_path = tmp_path / "seeded.json"
+        assert main(["run", "fig2", "--json", str(default_path)]) == 0
+        assert main(["run", "fig2", "--seed", "5", "--json", str(seeded_path)]) == 0
+        capsys.readouterr()
+        default = json.loads(default_path.read_text())
+        seeded = json.loads(seeded_path.read_text())
+        assert default["spec"]["seed"] == 9
+        assert seeded["spec"]["seed"] == 5
+        assert default["provenance"]["spec_hash"] != seeded["provenance"]["spec_hash"]
+
+    def test_sweep_with_json_output(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        assert main(["sweep", "table1", "table2", "--json", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "scenario: table1" in output and "scenario: table2" in output
+        assert "sweep of 2 scenarios" in output
+        payload = json.loads(path.read_text())
+        assert [entry["spec"]["name"] for entry in payload["results"]] == [
+            "table1",
+            "table2",
+        ]
+
+    def test_legacy_json_option(self, tmp_path, capsys):
+        path = tmp_path / "table1.json"
+        assert main(["table1", "--json", str(path)]) == 0
+        capsys.readouterr()
+        assert json.loads(path.read_text())["spec"]["kind"] == "table1"
