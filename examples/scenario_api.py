@@ -8,7 +8,10 @@ Shows the declarative experiment layer end to end:
    (scalars, named arrays, report, provenance);
 3. save the artifact (JSON + ``.npz``), reload it bit-exactly;
 4. run a registry-driven sweep in one runner so all scenarios share the
-   chip instances and template caches.
+   chip instances and template caches;
+5. expand a base scenario into a cartesian :class:`SpecGrid` and run it
+   on the process-pool backend -- bit-identical results, parallel wall
+   clock on multi-core machines.
 
 Run:  python examples/scenario_api.py [--quick]
 """
@@ -26,6 +29,7 @@ from repro.pipeline import (
     RunOptions,
     ScenarioResult,
     ScenarioSpec,
+    SpecGrid,
 )
 
 
@@ -75,6 +79,22 @@ def main() -> None:
     for scenario in sweep:
         print(f"  {scenario.name:<22} {scenario.provenance.elapsed_s:6.2f} s")
     print(f"sweep total: {sweep.elapsed_s:.2f} s (chip cache: {runner.chip_cache_stats()})")
+
+    # 5. Grid sweep on the process backend: a base scenario expanded over
+    #    seeds, executed by worker processes, results back in submission
+    #    order with the same scalars/arrays/reports as the serial backend.
+    specs = SpecGrid("fig5/chip1-active", options).build(seeds=[100, 101, 102])
+    parallel = runner.run_many(specs, backend="process", max_workers=2)
+    for scenario in parallel:
+        status = "ok" if scenario.ok else "FAILED"
+        print(f"  {scenario.name:<32} {status}  {scenario.report}")
+    print(
+        f"grid sweep ({len(parallel)} cells, process backend): "
+        f"{parallel.elapsed_s:.2f} s wall clock"
+    )
+    assert parallel.get("fig5/chip1-active[seed=100]").report == runner.run(
+        specs[0]
+    ).report  # parallel == serial, bit for bit
 
 
 if __name__ == "__main__":

@@ -9,6 +9,8 @@ one :class:`repro.pipeline.ExperimentRunner`::
     python -m repro run fig5 --quick          # one scenario by name
     python -m repro run my_spec.json          # ... or from a spec file
     python -m repro sweep fig3 fig5 fig6      # batched, shared caches
+    python -m repro sweep fig5/chip1-active --grid-seeds 1 2 3 \
+        --backend process --workers 2         # cartesian grid, process pool
     python -m repro table2                    # legacy spelling, same report
     python -m repro all --quick
 
@@ -25,13 +27,14 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import pathlib
 import sys
 import time
 from typing import List, Optional
 
 from repro.core.config import QUICK_CYCLES, QUICK_REPETITIONS  # noqa: F401 (re-export)
 from repro.pipeline.artifacts import SweepResult
-from repro.pipeline.registry import DEFAULT_REGISTRY, RunOptions
+from repro.pipeline.registry import DEFAULT_REGISTRY, RunOptions, SpecGrid
 from repro.pipeline.runner import ExperimentRunner
 
 #: The pre-registry sub-commands, in the order ``all`` executes them.
@@ -120,6 +123,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="registry names and/or spec .json paths, in execution order",
     )
     _add_scenario_options(sweep_parser)
+    sweep_parser.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="execution backend: in-process serial (default) or a process pool",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend process (default: one per scenario, capped at the CPU count)",
+    )
+    sweep_parser.add_argument(
+        "--grid-chips",
+        nargs="+",
+        default=None,
+        metavar="CHIP",
+        help="expand each scenario across these chips (cartesian grid axis)",
+    )
+    sweep_parser.add_argument(
+        "--grid-noise-scales",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="SCALE",
+        help="expand across measurement-noise scale factors (1.0 = the bench as specified)",
+    )
+    sweep_parser.add_argument(
+        "--grid-lengths",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="expand across acquisition lengths (cycles per correlation)",
+    )
+    sweep_parser.add_argument(
+        "--grid-seeds",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="expand across seeds",
+    )
 
     for name in LEGACY_EXPERIMENTS + ("all",):
         legacy = subparsers.add_parser(
@@ -147,6 +194,21 @@ def _write_json(path: str, payload) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def _save_artifact(result, save_path: str, default_stem: str) -> None:
+    """Persist an artifact, deriving a sanitized filename under directories.
+
+    Scenario names may contain ``/`` (``"fig5/chip-1"``); when ``--save``
+    points at a directory the file name comes from the result's sanitized
+    ``artifact_stem`` (or ``default_stem`` for sweeps) instead of the raw
+    name, so nothing lands in an unintended subdirectory.
+    """
+    path = pathlib.Path(save_path)
+    if path.is_dir() or str(save_path).endswith(("/", "\\")):
+        stem = getattr(result, "artifact_stem", default_stem)
+        path = path / stem
+    result.save(path)
 
 
 def _print_banner(label: str, value: str) -> None:
@@ -232,20 +294,40 @@ def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.json_path:
         _write_json(args.json_path, result.to_json_dict())
     if args.save_path:
-        result.save(args.save_path)
+        _save_artifact(result, args.save_path, result.spec.kind)
     return 0
+
+
+def _expand_grid(parser: argparse.ArgumentParser, args: argparse.Namespace, specs):
+    """Expand each resolved spec across the ``--grid-*`` axes, if any."""
+    axes = {
+        "chips": args.grid_chips,
+        "noise_scales": args.grid_noise_scales,
+        "lengths": args.grid_lengths,
+        "seeds": args.grid_seeds,
+    }
+    if all(axis is None for axis in axes.values()):
+        return specs
+    expanded = []
+    try:
+        for spec in specs:
+            expanded.extend(SpecGrid(spec).build(**axes))
+    except ValueError as error:
+        parser.error(str(error))
+    return expanded
 
 
 def _cmd_sweep(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     specs = _resolve_or_exit(parser, runner, args, args.scenarios)
-    sweep = runner.run_many(specs)
+    specs = _expand_grid(parser, args, specs)
+    sweep = runner.run_many(specs, backend=args.backend, max_workers=args.workers)
     print(sweep.to_text())
     if args.json_path:
         _write_json(args.json_path, sweep.to_json_dict())
     if args.save_path:
-        sweep.save(args.save_path)
-    return 0
+        _save_artifact(sweep, args.save_path, "sweep")
+    return 0 if sweep.ok else 1
 
 
 def _cmd_legacy(args: argparse.Namespace) -> int:
@@ -265,7 +347,7 @@ def _cmd_legacy(args: argparse.Namespace) -> int:
         if args.json_path:
             _write_json(args.json_path, results[0].to_json_dict())
         if args.save_path:
-            results[0].save(args.save_path)
+            _save_artifact(results[0], args.save_path, results[0].spec.kind)
     else:
         # Same machine-readable shape as the `sweep` command, so scripts
         # can parse `all --json` and `sweep --json` identically.
@@ -273,7 +355,7 @@ def _cmd_legacy(args: argparse.Namespace) -> int:
         if args.json_path:
             _write_json(args.json_path, sweep.to_json_dict())
         if args.save_path:
-            sweep.save(args.save_path)
+            _save_artifact(sweep, args.save_path, "sweep")
     return 0
 
 
@@ -286,6 +368,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--cycles must be positive")
     if getattr(args, "repetitions", None) is not None and args.repetitions <= 0:
         parser.error("--repetitions must be positive")
+    if getattr(args, "workers", None) is not None and args.workers <= 0:
+        parser.error("--workers must be positive")
+    if getattr(args, "grid_lengths", None) is not None and any(
+        length <= 0 for length in args.grid_lengths
+    ):
+        parser.error("--grid-lengths values must be positive")
 
     try:
         if args.experiment == "list":

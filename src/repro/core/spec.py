@@ -160,6 +160,52 @@ class ScenarioSpec:
         """A copy with the given fields replaced (specs are immutable)."""
         return replace(self, **changes)
 
+    # -- grid axis helpers -----------------------------------------------------
+    #
+    # One method per sweep axis the SpecGrid builders vary, so a cartesian
+    # grid is a chain of copies instead of hand-built dataclasses.replace
+    # calls reaching into nested configs.
+
+    def with_name(self, name: str) -> "ScenarioSpec":
+        """A copy renamed (grid cells get unique, axis-qualified names)."""
+        return replace(self, name=name)
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy at another seed."""
+        return replace(self, seed=seed)
+
+    def with_chip(self, chip: str) -> "ScenarioSpec":
+        """A copy targeting another chip (aliases canonicalise as usual)."""
+        return replace(self, chip=chip)
+
+    def with_num_cycles(self, num_cycles: int) -> "ScenarioSpec":
+        """A copy at another acquisition length (cycles per correlation)."""
+        if num_cycles <= 0:
+            raise ValueError("num_cycles must be positive")
+        return replace(
+            self, measurement=replace(self.measurement, num_cycles=num_cycles)
+        )
+
+    def with_noise_scale(self, scale: float) -> "ScenarioSpec":
+        """A copy with every measurement-noise knob scaled by ``scale``.
+
+        Scales the probe noise and both transient-noise terms together, so
+        ``scale=0`` is a noiseless bench and ``scale=2`` doubles every
+        noise contribution -- the masking/robustness sweep axis.
+        """
+        if scale < 0:
+            raise ValueError("noise scale must be non-negative")
+        measurement = self.measurement
+        return replace(
+            self,
+            measurement=replace(
+                measurement,
+                probe_noise_rms_v=measurement.probe_noise_rms_v * scale,
+                transient_noise_floor_w=measurement.transient_noise_floor_w * scale,
+                transient_noise_fraction=measurement.transient_noise_fraction * scale,
+            ),
+        )
+
     # -- serialization ---------------------------------------------------------
 
     def to_json_dict(self) -> Dict[str, Any]:

@@ -10,16 +10,24 @@ The public surface:
 * :class:`ScenarioResult` / :class:`SweepResult` -- typed artifacts with
   JSON/``.npz`` round-trip and provenance stamps;
 * :data:`DEFAULT_REGISTRY` -- every paper figure/table (plus campaign
-  scenarios) as a named spec factory.
+  scenarios) as a named spec factory;
+* :class:`SpecGrid` / :func:`grid` -- cartesian sweep builders expanding a
+  base scenario along chip/noise/length/seed axes, and
+  ``run_many(..., backend="process", max_workers=N)`` to execute such
+  grids on a process pool (bit-identical to serial, see
+  :mod:`repro.pipeline.backends`).
 """
 
 from repro.core.spec import ScenarioSpec
 from repro.pipeline.artifacts import Provenance, ScenarioResult, SweepResult
+from repro.pipeline.backends import BACKENDS
 from repro.pipeline.registry import (
     DEFAULT_REGISTRY,
     ExperimentRegistry,
     RegistryEntry,
     RunOptions,
+    SpecGrid,
+    grid,
 )
 from repro.pipeline.runner import ExperimentRunner, Pipeline, run_scenario
 from repro.pipeline.stages import PipelineStage, StageContext, registered_kinds
@@ -29,10 +37,13 @@ __all__ = [
     "Provenance",
     "ScenarioResult",
     "SweepResult",
+    "BACKENDS",
     "DEFAULT_REGISTRY",
     "ExperimentRegistry",
     "RegistryEntry",
     "RunOptions",
+    "SpecGrid",
+    "grid",
     "ExperimentRunner",
     "Pipeline",
     "run_scenario",

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import datetime
 import functools
+import io
 import json
 import pathlib
 import platform
+import re
 import subprocess
 import sys
 from dataclasses import dataclass, field
@@ -128,13 +130,34 @@ class ScenarioResult:
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
     report: str = ""
     #: The legacy result object (``Fig5Result``, ``Table1Result``, ...).
-    #: Not serialized; ``None`` after :meth:`load`.
+    #: Not serialized; ``None`` after :meth:`load` and under the process
+    #: backend (results cross the process boundary serialized).
     payload: Any = None
+    #: Traceback text when the scenario failed instead of producing a
+    #: result (sweep backends capture per-cell failures); ``None`` on
+    #: success.
+    error: Optional[str] = None
 
     @property
     def name(self) -> str:
         """Scenario name (falls back to the kind)."""
         return self.spec.name or self.spec.kind
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario executed without error."""
+        return self.error is None
+
+    @property
+    def artifact_stem(self) -> str:
+        """The scenario name sanitized into a single path component.
+
+        Grid-cell and sub-scenario names contain ``/`` (``"fig5/chip-1"``);
+        using them raw as filenames writes into unintended subdirectories.
+        Every run of filesystem-hostile characters becomes one ``-``.
+        """
+        stem = re.sub(r"[^\w.+=,@-]+", "-", self.name).strip("-.")
+        return stem or self.spec.kind
 
     def to_json_dict(self) -> Dict[str, Any]:
         """JSON-able representation (array *metadata* only, data lives in .npz)."""
@@ -148,6 +171,7 @@ class ScenarioResult:
                 for key, value in self.arrays.items()
             },
             "report": self.report,
+            "error": self.error,
         }
 
     @classmethod
@@ -163,7 +187,37 @@ class ScenarioResult:
             scalars=dict(payload.get("scalars", {})),
             arrays=arrays,
             report=payload.get("report", ""),
+            error=payload.get("error"),
         )
+
+    def to_wire(self) -> Dict[str, Any]:
+        """In-memory equivalent of :meth:`save`: JSON text + ``.npz`` bytes.
+
+        This is how the process backend ships results across the worker
+        boundary -- the same serialization as the on-disk artifact, so
+        :meth:`from_wire` reproduces scalars, arrays and report bit-exactly
+        while the non-serializable ``payload`` is dropped, exactly like
+        :meth:`load`.
+        """
+        npz_bytes: Optional[bytes] = None
+        if self.arrays:
+            buffer = io.BytesIO()
+            np.savez(buffer, **self.arrays)
+            npz_bytes = buffer.getvalue()
+        return {
+            "json": json.dumps(self.to_json_dict(), sort_keys=True),
+            "npz": npz_bytes,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_wire` output (arrays bit-exact)."""
+        payload = json.loads(wire["json"])
+        arrays: Dict[str, np.ndarray] = {}
+        if wire.get("npz"):
+            with np.load(io.BytesIO(wire["npz"]), allow_pickle=False) as data:
+                arrays = {key: np.array(data[key]) for key in data.files}
+        return cls._from_json_dict(payload, arrays)
 
     def save(self, path: PathLike) -> pathlib.Path:
         """Write ``<path>.json`` (+ sibling ``.npz`` when arrays exist)."""
@@ -191,7 +245,13 @@ class ScenarioResult:
 
 @dataclass
 class SweepResult:
-    """An ordered batch of scenario results from one ``run_many`` call."""
+    """An ordered batch of scenario results from one ``run_many`` call.
+
+    ``elapsed_s`` is the *wall-clock* duration of the whole sweep as seen
+    by the caller -- under the process backend it is what the sweep
+    actually took, not the sum of per-result ``provenance.elapsed_s``
+    (which overlap across workers).
+    """
 
     results: List[ScenarioResult] = field(default_factory=list)
     elapsed_s: float = 0.0
@@ -205,19 +265,66 @@ class SweepResult:
     def __getitem__(self, index: int) -> ScenarioResult:
         return self.results[index]
 
-    def get(self, name: str) -> ScenarioResult:
-        """Look up one result by scenario name."""
-        for result in self.results:
-            if result.name == name:
-                return result
-        raise KeyError(
-            f"no result named {name!r}; available: {[r.name for r in self.results]}"
-        )
+    def get(
+        self,
+        name: str,
+        *,
+        seed: Optional[int] = None,
+        index: Optional[int] = None,
+    ) -> ScenarioResult:
+        """Look up one result by scenario name, raising on ambiguity.
+
+        A grid sweep legitimately contains the same registry name at
+        several seeds; a bare ``get(name)`` with more than one match is an
+        error rather than a silent first-match.  Disambiguate with
+        ``seed=`` (match ``result.spec.seed``) and/or ``index=`` (position
+        among the same-named matches, in submission order).
+        """
+        matches = [
+            (position, result)
+            for position, result in enumerate(self.results)
+            if result.name == name
+        ]
+        if seed is not None:
+            matches = [(p, r) for p, r in matches if r.spec.seed == seed]
+        if not matches:
+            qualifier = f" with seed {seed}" if seed is not None else ""
+            raise KeyError(
+                f"no result named {name!r}{qualifier}; "
+                f"available: {[r.name for r in self.results]}"
+            )
+        if index is not None:
+            if not 0 <= index < len(matches):
+                raise KeyError(
+                    f"index {index} out of range: {len(matches)} results "
+                    f"match {name!r}"
+                )
+            return matches[index][1]
+        if len(matches) > 1:
+            cells = [
+                f"#{position} (seed {result.spec.seed})"
+                for position, result in matches
+            ]
+            raise KeyError(
+                f"ambiguous name {name!r}: {len(matches)} results match "
+                f"({', '.join(cells)}); qualify with seed= and/or index="
+            )
+        return matches[0][1]
 
     @property
     def names(self) -> List[str]:
         """Scenario names in execution order."""
         return [result.name for result in self.results]
+
+    @property
+    def failures(self) -> List[ScenarioResult]:
+        """The results whose scenario failed (``error`` set), in order."""
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every scenario in the sweep succeeded."""
+        return not self.failures
 
     def to_text(self) -> str:
         """All reports concatenated in execution order."""
@@ -228,6 +335,9 @@ class SweepResult:
         summary = (
             f"sweep of {len(self.results)} scenarios in {self.elapsed_s:.2f} s"
         )
+        failed = len(self.failures)
+        if failed:
+            summary += f" ({failed} FAILED)"
         return "\n\n".join(blocks + [summary])
 
     def to_json_dict(self) -> Dict[str, Any]:

@@ -1,0 +1,161 @@
+"""Execution backends for :meth:`repro.pipeline.runner.ExperimentRunner.run_many`.
+
+Two backends execute a resolved list of :class:`ScenarioSpec` cells:
+
+``serial``
+    The cells run in submission order inside the calling process, through
+    the caller's runner (shared chip provider, warm module-level caches).
+
+``process``
+    The cells are dispatched to a :class:`concurrent.futures.ProcessPoolExecutor`.
+    Each worker process builds one :class:`ExperimentRunner` on first use and
+    keeps it for every cell it executes, so the module-level M0-window and
+    background-template caches warm naturally per worker.  Specs travel to
+    the workers as their canonical JSON text and results come back through
+    :meth:`ScenarioResult.to_wire` -- the same JSON + ``.npz`` serialization
+    as :meth:`ScenarioResult.save`/``load``, so the ``payload`` object is
+    dropped exactly like after ``load`` while scalars, arrays and reports
+    stay bit-identical to the serial backend.
+
+Both backends capture per-cell failures: a scenario that raises produces a
+:class:`ScenarioResult` with :attr:`~ScenarioResult.error` set (and a
+``FAILED`` report) instead of killing the whole sweep, and results are
+always reassembled in submission order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.core.spec import ScenarioSpec
+from repro.pipeline.artifacts import Provenance, ScenarioResult
+
+#: Backend names ``run_many`` accepts.
+BACKENDS = ("serial", "process")
+
+
+def failed_result(spec: ScenarioSpec, error: str) -> ScenarioResult:
+    """The placeholder artifact recording one failed sweep cell."""
+    return ScenarioResult(
+        spec=spec,
+        provenance=Provenance(spec_hash=spec.spec_hash(), elapsed_s=0.0),
+        report=f"scenario {spec.name or spec.kind} FAILED:\n{error}",
+        error=error,
+    )
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually schedule onto (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_max_workers(num_specs: int) -> int:
+    """Worker count when the caller does not pin one."""
+    return max(1, min(num_specs, available_cpus()))
+
+
+def run_serial(specs: Sequence[ScenarioSpec], runner) -> List[ScenarioResult]:
+    """Execute every cell in order through the caller's runner."""
+    from repro.pipeline.runner import Pipeline
+
+    results: List[ScenarioResult] = []
+    for spec in specs:
+        try:
+            results.append(Pipeline.from_spec(spec).execute(runner))
+        except Exception:
+            results.append(failed_result(spec, traceback.format_exc()))
+    return results
+
+
+#: The per-process runner, created lazily on the first cell a worker sees
+#: (or installed at worker startup by :func:`_adopt_runner`).
+_WORKER_RUNNER = None
+
+
+def _adopt_runner(runner) -> None:
+    """Pool initializer under fork: adopt the sweep runner's snapshot.
+
+    A forked child copies the parent's memory, so handing the worker the
+    sweep's own :class:`ExperimentRunner` gives it the already-warm chip
+    instances (and their watermark period templates) instead of
+    rebuilding them per process.  Runs in the worker, per pool, so
+    concurrent ``run_process`` calls cannot interfere with each other.
+    """
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner
+
+
+def _worker_run_spec(spec_json: str):
+    """Worker body: rebuild the spec, run it, ship the result back as wire.
+
+    Returns ``(True, wire_dict)`` on success or ``(False, traceback_text)``
+    on failure -- exceptions never cross the process boundary raw, so one
+    failing cell cannot poison the pool.
+    """
+    global _WORKER_RUNNER
+    try:
+        if _WORKER_RUNNER is None:
+            from repro.pipeline.runner import ExperimentRunner
+
+            _WORKER_RUNNER = ExperimentRunner()
+        spec = ScenarioSpec.from_json(spec_json)
+        result = _WORKER_RUNNER.run(spec)
+        return True, result.to_wire()
+    except Exception:
+        return False, traceback.format_exc()
+
+
+def _pool_context():
+    """Prefer ``fork`` so workers inherit warm module-level caches."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context()
+
+
+def run_process(
+    specs: Sequence[ScenarioSpec],
+    max_workers: Optional[int] = None,
+    runner=None,
+) -> List[ScenarioResult]:
+    """Execute the cells on a process pool, results in submission order.
+
+    When ``runner`` is the sweep's :class:`ExperimentRunner` and the
+    platform forks workers, the workers adopt (a copy-on-write snapshot
+    of) that runner, inheriting its warm chips; otherwise each worker
+    builds a fresh runner on first use.  The handoff rides the pool's
+    ``initializer`` (fork passes the reference through process memory,
+    nothing is pickled), so concurrent sweeps never see each other's
+    runner.
+    """
+    if max_workers is None:
+        max_workers = default_max_workers(len(specs))
+    context = _pool_context()
+    pool_kwargs = {}
+    if runner is not None and context.get_start_method() == "fork":
+        pool_kwargs = {"initializer": _adopt_runner, "initargs": (runner,)}
+    results: List[ScenarioResult] = []
+    with ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=context, **pool_kwargs
+    ) as pool:
+        futures = [
+            pool.submit(_worker_run_spec, spec.to_json(indent=None))
+            for spec in specs
+        ]
+        for spec, future in zip(specs, futures):
+            try:
+                ok, payload = future.result()
+            except Exception as error:  # the worker process itself died
+                ok, payload = False, f"{type(error).__name__}: {error}"
+            if ok:
+                results.append(ScenarioResult.from_wire(payload))
+            else:
+                results.append(failed_result(spec, payload))
+    return results

@@ -13,7 +13,7 @@ Beyond the paper's grid, the registry also exposes campaign scenarios
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.config import (
     QUICK_REPETITIONS,
@@ -95,6 +95,114 @@ class ExperimentRegistry:
     def build(self, name: str, options: Optional[RunOptions] = None) -> ScenarioSpec:
         """Materialise the named scenario's spec."""
         return self.get(name).build(options)
+
+
+@dataclass(frozen=True)
+class SpecGrid:
+    """Cartesian sweep builder over one base scenario.
+
+    The base is either a registry name (materialised with ``options``
+    through ``registry``, :data:`DEFAULT_REGISTRY` by default) or an
+    already-resolved :class:`ScenarioSpec`.  :meth:`build` expands it along
+    up to four axes -- chips, noise scales, acquisition lengths, seeds --
+    into the full cartesian grid of specs, ready for
+    ``ExperimentRunner.run_many(..., backend="process")``::
+
+        specs = SpecGrid("fig5/chip1-active", RunOptions(quick=True)).build(
+            chips=["chip1", "chip2"], seeds=[1, 2, 3]
+        )
+
+    Every cell gets a unique, axis-qualified name
+    (``"fig5/chip1-active[chip=chip2,seed=3]"``), so grid sweeps never
+    trip :meth:`repro.pipeline.artifacts.SweepResult.get`'s duplicate-name
+    guard.  Axes not passed keep the base spec's value; axis order in the
+    product is chips → noise → length → seed (outermost to innermost).
+    """
+
+    base: Union[str, ScenarioSpec]
+    options: RunOptions = field(default_factory=RunOptions)
+    registry: Optional["ExperimentRegistry"] = None
+
+    def base_spec(self) -> ScenarioSpec:
+        """The spec every grid cell derives from."""
+        if isinstance(self.base, ScenarioSpec):
+            return self.base
+        registry = self.registry if self.registry is not None else DEFAULT_REGISTRY
+        return registry.build(self.base, self.options)
+
+    def build(
+        self,
+        *,
+        chips: Optional[Sequence[str]] = None,
+        noise_scales: Optional[Sequence[float]] = None,
+        lengths: Optional[Sequence[int]] = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[ScenarioSpec]:
+        """The cartesian product of the given axes as a list of specs."""
+        if chips is not None:
+            # Canonicalise before the duplicate check: two alias spellings
+            # of one chip ("chip1", "chipI") are the same grid cell and
+            # would otherwise produce duplicate cell names.
+            from repro.soc.registry import canonical_chip_name
+
+            chips = [canonical_chip_name(chip) for chip in chips]
+        for axis_name, axis in (
+            ("chips", chips),
+            ("noise_scales", noise_scales),
+            ("lengths", lengths),
+            ("seeds", seeds),
+        ):
+            if axis is None:
+                continue
+            if len(axis) == 0:
+                raise ValueError(f"grid axis {axis_name!r} must be non-empty")
+            if len(set(axis)) != len(axis):
+                raise ValueError(
+                    f"grid axis {axis_name!r} contains duplicate values: "
+                    f"{list(axis)}"
+                )
+        base = self.base_spec()
+        base_name = base.name or base.kind
+        specs: List[ScenarioSpec] = []
+        for chip in chips if chips is not None else (None,):
+            for scale in noise_scales if noise_scales is not None else (None,):
+                for length in lengths if lengths is not None else (None,):
+                    for seed in seeds if seeds is not None else (None,):
+                        spec = base
+                        labels = []
+                        if chip is not None:
+                            spec = spec.with_chip(chip)
+                            labels.append(f"chip={spec.chip}")
+                        if scale is not None:
+                            spec = spec.with_noise_scale(scale)
+                            labels.append(f"noise={scale:g}")
+                        if length is not None:
+                            spec = spec.with_num_cycles(length)
+                            labels.append(f"len={length}")
+                        if seed is not None:
+                            spec = spec.with_seed(seed)
+                            labels.append(f"seed={seed}")
+                        if labels:
+                            spec = spec.with_name(
+                                f"{base_name}[{','.join(labels)}]"
+                            )
+                        specs.append(spec)
+        return specs
+
+
+def grid(
+    base: Union[str, ScenarioSpec],
+    options: Optional[RunOptions] = None,
+    *,
+    chips: Optional[Sequence[str]] = None,
+    noise_scales: Optional[Sequence[float]] = None,
+    lengths: Optional[Sequence[int]] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[ScenarioSpec]:
+    """One-shot :class:`SpecGrid` convenience wrapper."""
+    return SpecGrid(base, options or RunOptions()).build(
+        chips=chips, noise_scales=noise_scales, lengths=lengths, seeds=seeds
+    )
 
 
 DEFAULT_REGISTRY = ExperimentRegistry()

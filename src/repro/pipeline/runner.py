@@ -21,6 +21,7 @@ One runner instance shares work across everything it executes:
 
 from __future__ import annotations
 
+import pathlib
 import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
@@ -28,6 +29,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from repro.caching import LRUCache
 from repro.core.spec import ScenarioSpec
 from repro.experiments.common import build_watermark
+from repro.pipeline import backends
 from repro.pipeline.artifacts import Provenance, ScenarioResult, SweepResult
 from repro.pipeline.stages import PipelineStage, StageContext, stages_for
 from repro.soc.registry import build_registered_chip, workload_program
@@ -105,19 +107,32 @@ class ExperimentRunner:
 
     # -- execution -------------------------------------------------------------
 
-    def resolve(self, scenario: Union[ScenarioSpec, str]) -> ScenarioSpec:
-        """Accept a spec, a registry name, or a path to a spec JSON file."""
+    def resolve(
+        self, scenario: Union[ScenarioSpec, str, pathlib.Path]
+    ) -> ScenarioSpec:
+        """Accept a spec, a registry name, or a path to a spec JSON file.
+
+        A :class:`pathlib.Path` is always treated as a spec file.  For a
+        string, the registry wins on a name collision; otherwise any
+        existing file loads as a spec regardless of its extension (a spec
+        saved as ``fig5.spec`` must not be rejected as an "unknown
+        scenario"), and a ``.json`` path that does not exist raises
+        :class:`FileNotFoundError` rather than hiding the miss.
+        """
         if isinstance(scenario, ScenarioSpec):
             return scenario
+        if isinstance(scenario, pathlib.Path):
+            return ScenarioSpec.load(scenario)
         from repro.pipeline.registry import DEFAULT_REGISTRY
 
         if DEFAULT_REGISTRY.has(scenario):
             return DEFAULT_REGISTRY.build(scenario)
-        if str(scenario).endswith(".json"):
-            return ScenarioSpec.load(scenario)
+        path = pathlib.Path(scenario)
+        if scenario.endswith(".json") or path.is_file():
+            return ScenarioSpec.load(path)
         raise ValueError(
             f"unknown scenario {scenario!r}: not a registry name "
-            f"(see 'python -m repro list') and not a .json spec path"
+            f"(see 'python -m repro list') and not a spec file path"
         )
 
     def run(self, scenario: Union[ScenarioSpec, str]) -> ScenarioResult:
@@ -126,22 +141,45 @@ class ExperimentRunner:
         return Pipeline.from_spec(spec).execute(self)
 
     def run_many(
-        self, scenarios: Iterable[Union[ScenarioSpec, str]]
+        self,
+        scenarios: Iterable[Union[ScenarioSpec, str, pathlib.Path]],
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
     ) -> SweepResult:
-        """Execute a batch of scenarios through one shared runner.
+        """Execute a batch of scenarios, serially or on a process pool.
 
-        Scenarios run in order; chips, M0 windows, background-power
-        templates and watermark period templates are shared across the
-        whole sweep, so N related scenarios cost far less than N
-        independent driver runs.
+        ``backend="serial"`` runs in order through this runner: chips, M0
+        windows, background-power templates and watermark period templates
+        are shared across the whole sweep, so N related scenarios cost far
+        less than N independent driver runs.  ``backend="process"``
+        dispatches the resolved specs to ``max_workers`` worker processes
+        (each with its own runner and naturally warming caches) and is
+        bit-identical in scalars, arrays and reports -- only the in-memory
+        ``payload`` objects are dropped, exactly as after
+        :meth:`ScenarioResult.load`.
+
+        Resolution errors (unknown names, missing spec files) raise before
+        anything runs; *execution* failures are captured per cell (the
+        result carries ``error`` + a ``FAILED`` report) so one bad cell
+        never kills the sweep.  ``elapsed_s`` of the returned
+        :class:`SweepResult` is always the caller-observed wall clock.
         """
         specs: Sequence[ScenarioSpec] = [self.resolve(s) for s in scenarios]
         if not specs:
             raise ValueError("at least one scenario is required")
+        if backend not in backends.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {backends.BACKENDS}"
+            )
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
         start = time.perf_counter()
-        results: List[ScenarioResult] = [
-            Pipeline.from_spec(spec).execute(self) for spec in specs
-        ]
+        if backend == "serial":
+            results: List[ScenarioResult] = backends.run_serial(specs, self)
+        else:
+            results = backends.run_process(
+                specs, max_workers=max_workers, runner=self
+            )
         return SweepResult(results=results, elapsed_s=time.perf_counter() - start)
 
 

@@ -148,3 +148,72 @@ class TestRegistryCommands:
         assert main(["table1", "--json", str(path)]) == 0
         capsys.readouterr()
         assert json.loads(path.read_text())["spec"]["kind"] == "table1"
+
+
+class TestSweepBackendsAndGrids:
+    def test_sweep_process_backend(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "sweep", "fig2", "table2",
+                    "--backend", "process", "--workers", "2",
+                    "--json", str(path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "scenario: fig2" in output and "scenario: table2" in output
+        payload = json.loads(path.read_text())
+        assert [entry["spec"]["name"] for entry in payload["results"]] == [
+            "fig2",
+            "table2",
+        ]
+        assert all(entry["error"] is None for entry in payload["results"])
+
+    def test_grid_flags_expand_scenarios(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        assert (
+            main(["sweep", "fig2", "--grid-seeds", "1", "2", "3", "--json", str(path)])
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        names = [entry["spec"]["name"] for entry in payload["results"]]
+        assert names == ["fig2[seed=1]", "fig2[seed=2]", "fig2[seed=3]"]
+        assert [entry["spec"]["seed"] for entry in payload["results"]] == [1, 2, 3]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig2", "--backend", "process", "--workers", "0"])
+
+    def test_invalid_grid_length_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig2", "--grid-lengths", "-5"])
+
+    def test_save_into_directory_uses_sanitized_stem(self, tmp_path, capsys):
+        spec_path = ScenarioSpec(kind="fig2", name="demo/cell-1", seed=9).save(
+            tmp_path / "spec.json"
+        )
+        out_dir = tmp_path / "artifacts"
+        out_dir.mkdir()
+        assert main(["run", str(spec_path), "--save", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert (out_dir / "demo-cell-1.json").exists()
+        assert not (out_dir / "demo").exists()
+
+    def test_run_spec_file_without_json_suffix(self, tmp_path, capsys):
+        spec_path = ScenarioSpec(kind="fig2", name="odd", seed=9).save(
+            tmp_path / "scenario.spec"
+        )
+        assert main(["run", str(spec_path)]) == 0
+        assert "scenario: odd" in capsys.readouterr().out
+
+    def test_failed_cell_sets_exit_code(self, tmp_path, capsys):
+        bad = ScenarioSpec(kind="fig5_panel", name="bad-cell").save(
+            tmp_path / "bad.json"
+        )
+        assert main(["sweep", "fig2", str(bad)]) == 1
+        output = capsys.readouterr().out
+        assert "FAILED" in output and "(1 FAILED)" in output

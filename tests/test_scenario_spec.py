@@ -200,3 +200,36 @@ class TestScenarioResultArtifacts:
             for key, value in original.arrays.items():
                 assert np.array_equal(restored.arrays[key], value)
                 assert restored.arrays[key].dtype == value.dtype
+
+
+class TestGridAxisHelpers:
+    def test_with_seed_and_name(self):
+        base = ScenarioSpec(kind="fig2", name="base", seed=1)
+        assert base.with_seed(7).seed == 7
+        assert base.with_name("cell").name == "cell"
+        assert base.seed == 1 and base.name == "base"  # copies, not mutation
+
+    def test_with_chip_canonicalises(self):
+        base = ScenarioSpec(kind="fig5_panel", chip="chip1")
+        assert base.with_chip("chipII").chip == "chip2"
+
+    def test_with_num_cycles_only_touches_length(self):
+        base = ScenarioSpec(kind="fig5_panel", chip="chip1")
+        longer = base.with_num_cycles(12_345)
+        assert longer.measurement.num_cycles == 12_345
+        assert longer.measurement.probe_noise_rms_v == base.measurement.probe_noise_rms_v
+        with pytest.raises(ValueError, match="positive"):
+            base.with_num_cycles(0)
+
+    def test_with_noise_scale_zero_is_noiseless(self):
+        quiet = ScenarioSpec(kind="fig5_panel", chip="chip1").with_noise_scale(0.0)
+        assert quiet.measurement.probe_noise_rms_v == 0.0
+        assert quiet.measurement.transient_noise_floor_w == 0.0
+        assert quiet.measurement.transient_noise_fraction == 0.0
+        with pytest.raises(ValueError, match="non-negative"):
+            quiet.with_noise_scale(-1.0)
+
+    def test_helpers_change_spec_hash(self):
+        base = ScenarioSpec(kind="fig5_panel", chip="chip1", seed=1)
+        assert base.with_seed(2).spec_hash() != base.spec_hash()
+        assert base.with_num_cycles(9_999).spec_hash() != base.spec_hash()
