@@ -83,7 +83,8 @@ def test_bench_pipeline_sweep_beats_independent_drivers(report):
     _clear_module_caches()
     runner = ExperimentRunner()
     start = time.perf_counter()
-    sweep = runner.run_many(specs)
+    # serial pinned: this benchmark measures the shared-cache serial path.
+    sweep = runner.run_many(specs, backend="serial")
     sweep_s = time.perf_counter() - start
 
     # Same numbers, just faster: the sweep's panel/campaign outcomes must

@@ -20,12 +20,20 @@ default seed and ``--json <path>`` writes the machine-readable result
 artifact (spec, scalars, provenance, report), so sweeps are scriptable
 without pytest; ``--save <path>`` additionally persists the arrays to a
 sibling ``.npz``.
+
+``--store DIR`` memoizes every completed cell in a content-addressed
+result store keyed by (spec hash, code version); adding ``--resume``
+serves already-stored cells from disk instead of recomputing, making
+interrupted sweeps resumable::
+
+    python -m repro sweep fig6/chip1 --grid-seeds 1 2 3 \
+        --store results/ --resume
+    python -m repro store stats results/      # also: gc, verify
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import pathlib
 import sys
@@ -36,6 +44,7 @@ from repro.core.config import QUICK_CYCLES, QUICK_REPETITIONS  # noqa: F401 (re-
 from repro.pipeline.artifacts import SweepResult
 from repro.pipeline.registry import DEFAULT_REGISTRY, RunOptions, SpecGrid
 from repro.pipeline.runner import ExperimentRunner
+from repro.pipeline.store import ResultStore
 
 #: The pre-registry sub-commands, in the order ``all`` executes them.
 LEGACY_EXPERIMENTS = ("fig2", "fig3", "fig5", "fig6", "robustness", "table1", "table2")
@@ -79,6 +88,24 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="save the full result artifact (JSON + .npz arrays) under PATH",
+    )
+    parser.add_argument(
+        "--store",
+        dest="store_dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "memoize completed cells in a content-addressed result store "
+            "at DIR, keyed by (spec hash, code version)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "serve cells already present in --store from disk instead of "
+            "recomputing them (failed cells always re-execute)"
+        ),
     )
 
 
@@ -125,9 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_options(sweep_parser)
     sweep_parser.add_argument(
         "--backend",
-        choices=("serial", "process"),
-        default="serial",
-        help="execution backend: in-process serial (default) or a process pool",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        help=(
+            "execution backend: in-process serial, a process pool, or auto "
+            "(default: serial unless >=2 CPUs and >=2 cells make the pool win)"
+        ),
     )
     sweep_parser.add_argument(
         "--workers",
@@ -167,6 +197,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="expand across seeds",
     )
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect or maintain a content-addressed result store",
+    )
+    store_parser.add_argument(
+        "action",
+        choices=("stats", "gc", "verify"),
+        help=(
+            "stats: entry counts and size; gc: drop stale/corrupt entries; "
+            "verify: integrity-check every entry (exit 1 on problems)"
+        ),
+    )
+    store_parser.add_argument("dir", help="the store directory")
 
     for name in LEGACY_EXPERIMENTS + ("all",):
         legacy = subparsers.add_parser(
@@ -217,6 +261,23 @@ def _print_banner(label: str, value: str) -> None:
     print("=" * 78)
 
 
+def _store_for(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The result store the command-line options select, if any."""
+    store_dir = getattr(args, "store_dir", None)
+    return ResultStore(store_dir) if store_dir else None
+
+
+def _print_store_summary(store: Optional[ResultStore]) -> None:
+    """One line of store traffic (the CI smoke test greps for it)."""
+    if store is None:
+        return
+    stats = store.stats()
+    print(
+        f"store {stats.root}: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{stats.writes} written, {stats.entries} entr(y/ies) on disk"
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     entries = DEFAULT_REGISTRY.entries()
     width = max(len(entry.name) for entry in entries)
@@ -250,19 +311,7 @@ def _resolve_all(runner: ExperimentRunner, args, names) -> List:
         if DEFAULT_REGISTRY.has(name):
             specs.append(DEFAULT_REGISTRY.build(name, options))
         else:
-            spec = runner.resolve(name)
-            changes = {}
-            if options.seed is not None:
-                changes["seed"] = options.seed
-            if options.repetitions is not None:
-                changes["repetitions"] = options.repetitions
-            if options.quick:
-                changes["measurement"] = options.measurement()
-            elif options.cycles is not None:
-                changes["measurement"] = dataclasses.replace(
-                    spec.measurement, num_cycles=options.cycles
-                )
-            specs.append(spec.with_overrides(**changes) if changes else spec)
+            specs.append(options.apply_to(runner.resolve(name)))
     return specs
 
 
@@ -286,11 +335,13 @@ def _resolve_or_exit(
 def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     spec = _resolve_or_exit(parser, runner, args, [args.scenario])[0]
-    result = runner.run(spec)
+    store = _store_for(args)
+    result = runner.run(spec, store=store, resume=args.resume)
     _print_banner("scenario", result.name)
     print(result.report)
     print()
     print(f"spec hash: {result.spec.spec_hash()[:12]}  elapsed: {result.provenance.elapsed_s:.2f} s")
+    _print_store_summary(store)
     if args.json_path:
         _write_json(args.json_path, result.to_json_dict())
     if args.save_path:
@@ -321,8 +372,16 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     runner = ExperimentRunner()
     specs = _resolve_or_exit(parser, runner, args, args.scenarios)
     specs = _expand_grid(parser, args, specs)
-    sweep = runner.run_many(specs, backend=args.backend, max_workers=args.workers)
+    store = _store_for(args)
+    sweep = runner.run_many(
+        specs,
+        backend=args.backend,
+        max_workers=args.workers,
+        store=store,
+        resume=args.resume,
+    )
     print(sweep.to_text())
+    _print_store_summary(store)
     if args.json_path:
         _write_json(args.json_path, sweep.to_json_dict())
     if args.save_path:
@@ -330,19 +389,43 @@ def _cmd_sweep(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     return 0 if sweep.ok else 1
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ResultStore(args.dir)
+    if args.action == "stats":
+        print(store.stats().to_text())
+        return 0
+    if args.action == "gc":
+        removed, freed = store.gc()
+        print(f"store {store.root}: removed {removed} file(s), freed {freed / 1e6:.2f} MB")
+        return 0
+    problems = store.verify()
+    for problem in problems:
+        print(f"PROBLEM {problem}")
+    entries = store.stats().entries
+    print(
+        f"store {store.root}: {entries} entr(y/ies) verified, "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
 def _cmd_legacy(args: argparse.Namespace) -> int:
     names = LEGACY_EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     options = _run_options(args)
     runner = ExperimentRunner()
+    store = _store_for(args)
     results = []
     start = time.perf_counter()
     for name in names:
-        result = runner.run(DEFAULT_REGISTRY.build(name, options))
+        result = runner.run(
+            DEFAULT_REGISTRY.build(name, options), store=store, resume=args.resume
+        )
         results.append(result)
         _print_banner("experiment", name)
         print(result.report)
         print()
     elapsed = time.perf_counter() - start
+    _print_store_summary(store)
     if len(results) == 1:
         if args.json_path:
             _write_json(args.json_path, results[0].to_json_dict())
@@ -374,6 +457,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         length <= 0 for length in args.grid_lengths
     ):
         parser.error("--grid-lengths values must be positive")
+    if getattr(args, "resume", False) and not getattr(args, "store_dir", None):
+        parser.error("--resume requires --store DIR")
 
     try:
         if args.experiment == "list":
@@ -382,6 +467,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(parser, args)
         if args.experiment == "sweep":
             return _cmd_sweep(parser, args)
+        if args.experiment == "store":
+            return _cmd_store(args)
         return _cmd_legacy(args)
     except BrokenPipeError:
         # stdout was piped into something like `head` that exited early.

@@ -48,7 +48,13 @@ SCENARIO_KINDS: Tuple[str, ...] = (
     "masking_starvation",
 )
 
-_SPEC_SCHEMA_VERSION = 1
+#: Schema version of the spec's JSON form.  Part of the result store's
+#: code-version salt (:func:`repro.pipeline.store.code_version_salt`): a
+#: schema bump invalidates memoized results whose spec serialization
+#: changed meaning.
+SPEC_SCHEMA_VERSION = 1
+
+_SPEC_SCHEMA_VERSION = SPEC_SCHEMA_VERSION
 
 
 #: Marker distinguishing a frozen mapping from a frozen list in ``params``.

@@ -15,12 +15,17 @@ The public surface:
   base scenario along chip/noise/length/seed axes, and
   ``run_many(..., backend="process", max_workers=N)`` to execute such
   grids on a process pool (bit-identical to serial, see
-  :mod:`repro.pipeline.backends`).
+  :mod:`repro.pipeline.backends`);
+* :class:`ResultStore` -- content-addressed memoization of results by
+  (spec hash, code version), making sweeps resumable
+  (``run_many(..., store=..., resume=True)``, see
+  :mod:`repro.pipeline.store`).
 """
 
 from repro.core.spec import ScenarioSpec
 from repro.pipeline.artifacts import Provenance, ScenarioResult, SweepResult
-from repro.pipeline.backends import BACKENDS
+from repro.pipeline.backends import BACKEND_CHOICES, BACKENDS
+from repro.pipeline.store import ResultStore, StoreStats, code_version_salt
 from repro.pipeline.registry import (
     DEFAULT_REGISTRY,
     ExperimentRegistry,
@@ -38,6 +43,10 @@ __all__ = [
     "ScenarioResult",
     "SweepResult",
     "BACKENDS",
+    "BACKEND_CHOICES",
+    "ResultStore",
+    "StoreStats",
+    "code_version_salt",
     "DEFAULT_REGISTRY",
     "ExperimentRegistry",
     "RegistryEntry",

@@ -35,7 +35,12 @@ from repro.core.spec import ScenarioSpec
 
 PathLike = Union[str, pathlib.Path]
 
-_ARTIFACT_SCHEMA_VERSION = 1
+#: Schema version of the artifact JSON form.  Part of the result store's
+#: code-version salt: bumping it invalidates memoized results whose
+#: serialized shape changed.
+ARTIFACT_SCHEMA_VERSION = 1
+
+_ARTIFACT_SCHEMA_VERSION = ARTIFACT_SCHEMA_VERSION
 
 
 @functools.lru_cache(maxsize=1)
@@ -220,13 +225,21 @@ class ScenarioResult:
         return cls._from_json_dict(payload, arrays)
 
     def save(self, path: PathLike) -> pathlib.Path:
-        """Write ``<path>.json`` (+ sibling ``.npz`` when arrays exist)."""
+        """Write ``<path>.json`` (+ sibling ``.npz`` when arrays exist).
+
+        Overwriting an artifact that *had* arrays with one that has none
+        removes the now-orphaned sibling ``.npz``: the new JSON no longer
+        references it, and leaving it behind would make a later save with
+        arrays ambiguous about whose data the file holds.
+        """
         json_path = _json_path(path)
         json_path.parent.mkdir(parents=True, exist_ok=True)
         payload = self.to_json_dict()
         if self.arrays:
             payload["arrays_file"] = _npz_path(json_path).name
             np.savez(_npz_path(json_path), **self.arrays)
+        else:
+            _npz_path(json_path).unlink(missing_ok=True)
         json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return json_path
 
@@ -364,6 +377,11 @@ class SweepResult:
         if stacked:
             payload["arrays_file"] = _npz_path(json_path).name
             np.savez(_npz_path(json_path), **stacked)
+        else:
+            # Same stale-sibling hazard as ScenarioResult.save: an earlier
+            # sweep with arrays must not leave its .npz next to a new
+            # array-less sweep JSON.
+            _npz_path(json_path).unlink(missing_ok=True)
         json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return json_path
 

@@ -25,6 +25,7 @@ always reassembled in submission order.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import traceback
@@ -34,8 +35,54 @@ from typing import List, Optional, Sequence
 from repro.core.spec import ScenarioSpec
 from repro.pipeline.artifacts import Provenance, ScenarioResult
 
-#: Backend names ``run_many`` accepts.
+logger = logging.getLogger(__name__)
+
+#: Concrete execution backends.
 BACKENDS = ("serial", "process")
+
+#: Everything ``run_many`` accepts: ``"auto"`` resolves to a concrete
+#: backend per sweep via :func:`choose_backend`.
+BACKEND_CHOICES = ("auto",) + BACKENDS
+
+#: Minimum sweep size for ``auto`` to reach for the process pool: a
+#: single cell has nothing to overlap, so fork + wire overhead can only
+#: lose (BENCH.json ``parallel_sweep`` measured 0.75x on one CPU).
+AUTO_MIN_CELLS = 2
+
+
+def choose_backend(num_specs: int) -> str:
+    """The backend ``"auto"`` resolves to for a sweep of ``num_specs``.
+
+    The process pool only wins when there are at least two schedulable
+    CPUs *and* enough cells to overlap; otherwise serialization and fork
+    overhead make it strictly slower than the serial backend, so small
+    grids and single-CPU hosts stay serial.  The choice is logged at INFO
+    on the ``repro.pipeline.backends`` logger.
+    """
+    cpus = available_cpus()
+    if cpus >= 2 and num_specs >= AUTO_MIN_CELLS:
+        choice = "process"
+        reason = f"{num_specs} cell(s) across {cpus} schedulable CPUs"
+    else:
+        choice = "serial"
+        reason = (
+            f"only {cpus} schedulable CPU(s)"
+            if cpus < 2
+            else f"only {num_specs} cell(s)"
+        )
+    logger.info("backend auto: chose %r (%s)", choice, reason)
+    return choice
+
+
+def resolve_backend(backend: str, num_specs: int) -> str:
+    """Validate a ``run_many`` backend name, resolving ``"auto"``."""
+    if backend == "auto":
+        return choose_backend(num_specs)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKEND_CHOICES}"
+        )
+    return backend
 
 
 def failed_result(spec: ScenarioSpec, error: str) -> ScenarioResult:

@@ -12,7 +12,7 @@ Beyond the paper's grid, the registry also exposes campaign scenarios
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.config import (
@@ -39,6 +39,30 @@ class RunOptions:
         if self.quick:
             return MeasurementConfig.quick(self.cycles)
         return MeasurementConfig.full(self.cycles)
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        """Apply these options as overrides on an already-built spec.
+
+        Registry factories consume options natively; specs loaded from
+        ``.json`` files get the explicitly passed options applied on top:
+        ``seed``/``repetitions`` replace the spec's values, ``quick``
+        replaces its measurement bench with the quick preset, and a bare
+        ``cycles`` rewrites only the acquisition length while keeping the
+        spec's other bench fields.  Returns ``spec`` itself when nothing
+        was overridden, so untouched specs keep their identity (and hash).
+        """
+        changes = {}
+        if self.seed is not None:
+            changes["seed"] = self.seed
+        if self.repetitions is not None:
+            changes["repetitions"] = self.repetitions
+        if self.quick:
+            changes["measurement"] = self.measurement()
+        elif self.cycles is not None:
+            changes["measurement"] = replace(
+                spec.measurement, num_cycles=self.cycles
+            )
+        return spec.with_overrides(**changes) if changes else spec
 
 
 SpecFactory = Callable[[RunOptions], ScenarioSpec]

@@ -21,6 +21,7 @@ One runner instance shares work across everything it executes:
 
 from __future__ import annotations
 
+import logging
 import pathlib
 import time
 from dataclasses import dataclass
@@ -32,7 +33,10 @@ from repro.experiments.common import build_watermark
 from repro.pipeline import backends
 from repro.pipeline.artifacts import Provenance, ScenarioResult, SweepResult
 from repro.pipeline.stages import PipelineStage, StageContext, stages_for
+from repro.pipeline.store import ResultStore
 from repro.soc.registry import build_registered_chip, workload_program
+
+logger = logging.getLogger(__name__)
 
 #: Chip instances retained per runner (LRU beyond this).
 CHIP_CACHE_MAX_ENTRIES = 8
@@ -135,16 +139,41 @@ class ExperimentRunner:
             f"(see 'python -m repro list') and not a spec file path"
         )
 
-    def run(self, scenario: Union[ScenarioSpec, str]) -> ScenarioResult:
-        """Execute one scenario and return its typed result artifact."""
+    def run(
+        self,
+        scenario: Union[ScenarioSpec, str],
+        store: Optional[Union[ResultStore, str, pathlib.Path]] = None,
+        resume: bool = True,
+    ) -> ScenarioResult:
+        """Execute one scenario and return its typed result artifact.
+
+        With ``store`` (a :class:`~repro.pipeline.store.ResultStore` or a
+        directory path) the result is memoized by (spec hash, code
+        version): when ``resume`` is true a stored cell is served from
+        disk instead of recomputing -- bit-identical scalars, arrays and
+        report, with the in-memory ``payload`` dropped exactly as after
+        :meth:`ScenarioResult.load` -- and a computed success is written
+        back.  ``resume=False`` forces recomputation but still writes
+        back.  Failed scenarios are never memoized.
+        """
         spec = self.resolve(scenario)
-        return Pipeline.from_spec(spec).execute(self)
+        store = ResultStore.coerce(store)
+        if store is not None and resume:
+            cached = store.get(spec)
+            if cached is not None:
+                return cached
+        result = Pipeline.from_spec(spec).execute(self)
+        if store is not None and result.ok:
+            store.put(result)
+        return result
 
     def run_many(
         self,
         scenarios: Iterable[Union[ScenarioSpec, str, pathlib.Path]],
-        backend: str = "serial",
+        backend: str = "auto",
         max_workers: Optional[int] = None,
+        store: Optional[Union[ResultStore, str, pathlib.Path]] = None,
+        resume: bool = True,
     ) -> SweepResult:
         """Execute a batch of scenarios, serially or on a process pool.
 
@@ -156,7 +185,19 @@ class ExperimentRunner:
         (each with its own runner and naturally warming caches) and is
         bit-identical in scalars, arrays and reports -- only the in-memory
         ``payload`` objects are dropped, exactly as after
-        :meth:`ScenarioResult.load`.
+        :meth:`ScenarioResult.load`.  The default ``"auto"`` picks the
+        process pool only when the host has at least two schedulable CPUs
+        and the sweep has enough cells to win (the choice is logged, see
+        :func:`repro.pipeline.backends.choose_backend`).
+
+        With ``store`` the sweep becomes resumable and memoized: before
+        executing, every cell already present under the current (spec
+        hash, code version) key is served from disk (when ``resume`` is
+        true, the default), only the missing cells are dispatched to the
+        backend, and every *successful* cell is written back -- so a
+        sweep that died at cell 900/1000 re-executes exactly the 100
+        unfinished cells, and overlapping grids or repeat runs are
+        near-free.  Failed cells are never memoized and always re-execute.
 
         Resolution errors (unknown names, missing spec files) raise before
         anything runs; *execution* failures are captured per cell (the
@@ -167,19 +208,37 @@ class ExperimentRunner:
         specs: Sequence[ScenarioSpec] = [self.resolve(s) for s in scenarios]
         if not specs:
             raise ValueError("at least one scenario is required")
-        if backend not in backends.BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; expected one of {backends.BACKENDS}"
-            )
+        chosen = backends.resolve_backend(backend, len(specs))
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        store = ResultStore.coerce(store)
         start = time.perf_counter()
-        if backend == "serial":
-            results: List[ScenarioResult] = backends.run_serial(specs, self)
-        else:
-            results = backends.run_process(
-                specs, max_workers=max_workers, runner=self
+        results: List[Optional[ScenarioResult]] = [None] * len(specs)
+        pending = list(range(len(specs)))
+        if store is not None and resume:
+            pending = []
+            for index, spec in enumerate(specs):
+                cached = store.get(spec)
+                if cached is not None:
+                    results[index] = cached
+                else:
+                    pending.append(index)
+            logger.info(
+                "result store %s: %d hit(s), %d cell(s) to execute",
+                store.root, len(specs) - len(pending), len(pending),
             )
+        if pending:
+            pending_specs = [specs[index] for index in pending]
+            if chosen == "serial":
+                executed = backends.run_serial(pending_specs, self)
+            else:
+                executed = backends.run_process(
+                    pending_specs, max_workers=max_workers, runner=self
+                )
+            for index, result in zip(pending, executed):
+                results[index] = result
+                if store is not None and result.ok:
+                    store.put(result)
         return SweepResult(results=results, elapsed_s=time.perf_counter() - start)
 
 

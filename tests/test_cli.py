@@ -217,3 +217,75 @@ class TestSweepBackendsAndGrids:
         assert main(["sweep", "fig2", str(bad)]) == 1
         output = capsys.readouterr().out
         assert "FAILED" in output and "(1 FAILED)" in output
+
+
+class TestResultStoreCommands:
+    def _sweep(self, store, json_path, resume=True):
+        argv = ["sweep", "fig2", "table2", "--store", str(store)]
+        if resume:
+            argv.append("--resume")
+        return main(argv + ["--json", str(json_path)])
+
+    def test_warm_sweep_hits_and_matches_cold_report(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._sweep(store, tmp_path / "cold.json") == 0
+        cold_out = capsys.readouterr().out
+        assert "0 hit(s)" in cold_out and "2 written" in cold_out
+        assert self._sweep(store, tmp_path / "warm.json") == 0
+        warm_out = capsys.readouterr().out
+        assert "2 hit(s), 0 miss(es)" in warm_out
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        del cold["elapsed_s"], warm["elapsed_s"]
+        for entry in cold["results"] + warm["results"]:
+            del entry["provenance"]["elapsed_s"]
+        assert cold == warm
+
+    def test_store_without_resume_only_records(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._sweep(store, tmp_path / "a.json", resume=False) == 0
+        capsys.readouterr()
+        assert self._sweep(store, tmp_path / "b.json", resume=False) == 0
+        assert "0 hit(s)" in capsys.readouterr().out
+
+    def test_run_command_uses_store(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        argv = ["run", "table2", "--store", str(store), "--resume"]
+        assert main(argv) == 0
+        assert "1 written" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "1 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_resume_requires_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig2", "--resume"])
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_store_stats_command(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._sweep(store, tmp_path / "sweep.json") == 0
+        capsys.readouterr()
+        assert main(["store", "stats", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "entries: 2" in output and "salt:" in output
+
+    def test_store_verify_clean_and_corrupt(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._sweep(store, tmp_path / "sweep.json") == 0
+        capsys.readouterr()
+        assert main(["store", "verify", str(store)]) == 0
+        assert "0 problem(s)" in capsys.readouterr().out
+        npz = next(store.rglob("*.npz"))
+        npz.write_bytes(b"garbage")
+        assert main(["store", "verify", str(store)]) == 1
+        output = capsys.readouterr().out
+        assert "PROBLEM" in output
+
+    def test_store_gc_removes_corrupt_entries(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self._sweep(store, tmp_path / "sweep.json") == 0
+        capsys.readouterr()
+        next(store.rglob("*.npz")).write_bytes(b"garbage")
+        assert main(["store", "gc", str(store)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["store", "verify", str(store)]) == 0

@@ -162,7 +162,9 @@ class TestExperimentRunner:
             )
             for active in (True, False)
         ]
-        sweep = runner.run_many(specs)
+        # backend="serial" pinned: the assertion below inspects the chip
+        # cache of *this* process's runner, which "auto" may bypass.
+        sweep = runner.run_many(specs, backend="serial")
         assert sweep.names == ["panel-True", "panel-False"]
         stats = runner.chip_cache_stats()
         assert stats["misses"] == 1 and stats["hits"] == 1
@@ -220,3 +222,98 @@ class TestRegistryScenarioExecution:
         assert list(result.arrays["cycles"]) == [5_000, 20_000, 80_000]
         assert result.arrays["detection_probability"].min() >= 0.0
         assert result.arrays["detection_probability"].max() <= 1.0
+
+
+class TestArtifactSaveHygiene:
+    """Overwriting an artifact must not leave a stale sibling ``.npz``."""
+
+    def _results(self):
+        from repro.pipeline import Provenance, ScenarioResult
+
+        spec = ScenarioSpec(kind="fig2", name="hygiene", seed=1)
+        provenance = Provenance(spec_hash=spec.spec_hash())
+        with_arrays = ScenarioResult(
+            spec=spec,
+            provenance=provenance,
+            arrays={"data": np.arange(8)},
+            report="with arrays",
+        )
+        without_arrays = ScenarioResult(
+            spec=spec, provenance=provenance, report="no arrays"
+        )
+        return with_arrays, without_arrays
+
+    def test_scenario_overwrite_removes_stale_npz(self, tmp_path):
+        from repro.pipeline import ScenarioResult
+
+        with_arrays, without_arrays = self._results()
+        with_arrays.save(tmp_path / "res")
+        assert (tmp_path / "res.npz").exists()
+        without_arrays.save(tmp_path / "res")
+        assert not (tmp_path / "res.npz").exists()
+        reloaded = ScenarioResult.load(tmp_path / "res")
+        assert reloaded.arrays == {} and reloaded.report == "no arrays"
+
+    def test_sweep_overwrite_removes_stale_npz(self, tmp_path):
+        from repro.pipeline import SweepResult
+
+        with_arrays, without_arrays = self._results()
+        SweepResult(results=[with_arrays]).save(tmp_path / "sweep")
+        assert (tmp_path / "sweep.npz").exists()
+        SweepResult(results=[without_arrays]).save(tmp_path / "sweep")
+        assert not (tmp_path / "sweep.npz").exists()
+        assert SweepResult.load(tmp_path / "sweep")[0].arrays == {}
+
+    def test_overwrite_with_arrays_refreshes_npz(self, tmp_path):
+        from repro.pipeline import ScenarioResult
+
+        with_arrays, _ = self._results()
+        with_arrays.save(tmp_path / "res")
+        refreshed = ScenarioResult(
+            spec=with_arrays.spec,
+            provenance=with_arrays.provenance,
+            arrays={"data": np.arange(3)},
+            report="refreshed",
+        )
+        refreshed.save(tmp_path / "res")
+        assert np.array_equal(
+            ScenarioResult.load(tmp_path / "res").arrays["data"], np.arange(3)
+        )
+
+
+class TestFailedCellRoundTrip:
+    """``error``/``ok``/FAILED counts survive save/load and the wire format."""
+
+    def _failed(self):
+        from repro.pipeline.backends import failed_result
+
+        return failed_result(
+            ScenarioSpec(kind="fig2", name="bad", seed=1), "Traceback: boom"
+        )
+
+    def test_scenario_save_load_preserves_error(self, tmp_path):
+        from repro.pipeline import ScenarioResult
+
+        failed = self._failed()
+        loaded = ScenarioResult.load(failed.save(tmp_path / "bad"))
+        assert loaded.error == failed.error
+        assert not loaded.ok
+        assert loaded.report == failed.report
+
+    def test_wire_round_trip_preserves_error(self):
+        from repro.pipeline import ScenarioResult
+
+        failed = self._failed()
+        rebuilt = ScenarioResult.from_wire(failed.to_wire())
+        assert rebuilt.error == failed.error and not rebuilt.ok
+
+    def test_sweep_save_load_preserves_failed_count(self, tmp_path):
+        from repro.pipeline import SweepResult
+
+        ok = ExperimentRunner().run(ScenarioSpec(kind="fig2", name="ok", seed=9))
+        sweep = SweepResult(results=[ok, self._failed()], elapsed_s=1.0)
+        loaded = SweepResult.load(sweep.save(tmp_path / "sweep"))
+        assert [cell.ok for cell in loaded] == [True, False]
+        assert loaded.failures[0].error == "Traceback: boom"
+        assert "(1 FAILED)" in loaded.to_text()
+        assert loaded.to_text().count("FAILED") == sweep.to_text().count("FAILED")
