@@ -1,0 +1,94 @@
+"""Benchmark: supervision-layer overhead on a fault-free sweep.
+
+Acceptance pin for the fault-tolerance layer (PR 7): running a sweep
+under full supervision -- per-cell timeout armed, retry policy active,
+graceful-shutdown handlers installed -- must cost less than 5% wall clock
+over the same sweep with supervision disabled, because a fault-free cell
+takes exactly one attempt and the supervisor only ever arms/disarms a
+timer and checks a policy object around it.
+
+Measured on the serial backend: its supervision path (SIGALRM per cell)
+runs in the benchmark process itself, so the comparison isolates the
+supervision overhead from process-pool scheduling noise.
+"""
+
+import os
+import time
+
+from record import record_benchmark
+
+from repro.pipeline import ExperimentRunner, RunOptions, SpecGrid
+
+NUM_CYCLES = 150_000
+REPETITIONS = 100
+MAX_OVERHEAD = 0.05
+ROUNDS = 3
+
+RELAXED = os.environ.get("REPRO_BENCH_RELAXED") == "1"
+
+
+def _grid_specs():
+    """The PR 6 store-benchmark grid: six Fig. 6 campaign cells."""
+    options = RunOptions(quick=True, cycles=NUM_CYCLES, repetitions=REPETITIONS)
+    return SpecGrid("fig6/chip1", options).build(
+        chips=["chip1", "chip2"], seeds=[1_000, 2_000, 3_000]
+    )
+
+
+def _best_of(rounds, run):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        sweep = run()
+        best = min(best, time.perf_counter() - start)
+        assert sweep.ok
+    return best
+
+
+def test_bench_supervision_overhead_under_five_percent(report):
+    specs = _grid_specs()
+    runner = ExperimentRunner()
+    # Warm-up: build both chips (M0 windows, templates) so both measured
+    # passes see identical warm caches.
+    runner.run_many(specs, backend="serial")
+
+    plain_s = _best_of(
+        ROUNDS, lambda: runner.run_many(specs, backend="serial")
+    )
+    supervised_s = _best_of(
+        ROUNDS,
+        lambda: runner.run_many(
+            specs, backend="serial", timeout=300.0, retry=2
+        ),
+    )
+
+    overhead = supervised_s / plain_s - 1.0 if plain_s > 0 else 0.0
+    lines = [
+        f"grid: {len(specs)} Fig. 6 cells (2 chips x 3 seeds), "
+        f"{NUM_CYCLES} cycles x {REPETITIONS} repetitions, best of {ROUNDS}",
+        f"plain sweep (no supervision):      {plain_s:.3f} s",
+        f"supervised (timeout=300, retries=2): {supervised_s:.3f} s",
+        f"overhead: {overhead * 100:+.1f}% "
+        f"(ceiling {MAX_OVERHEAD * 100:.0f}%, relaxed={RELAXED})",
+    ]
+    report("Fault-tolerant sweep: supervision overhead", "\n".join(lines))
+    record_benchmark(
+        "fault_tolerant_sweep",
+        {
+            "num_cycles": NUM_CYCLES,
+            "cells": len(specs),
+            "repetitions": REPETITIONS,
+            "rounds": ROUNDS,
+            "plain_s": round(plain_s, 4),
+            "supervised_s": round(supervised_s, 4),
+            "overhead_pct": round(overhead * 100, 2),
+            "relaxed": RELAXED,
+        },
+    )
+
+    if not RELAXED:
+        assert overhead < MAX_OVERHEAD, (
+            f"supervision should cost <{MAX_OVERHEAD * 100:.0f}% on a "
+            f"fault-free sweep; measured {overhead * 100:+.1f}% "
+            f"({plain_s:.3f} s -> {supervised_s:.3f} s)"
+        )

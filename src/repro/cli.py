@@ -29,6 +29,19 @@ interrupted sweeps resumable::
     python -m repro sweep fig6/chip1 --grid-seeds 1 2 3 \
         --store results/ --resume
     python -m repro store stats results/      # also: gc, verify
+
+Sweeps run under a supervision policy (see
+:mod:`repro.pipeline.faults`): ``--timeout`` bounds each cell's wall
+clock (a hung worker is killed and replaced), ``--retries``/
+``--retry-backoff`` re-run transiently failed cells (timeouts, worker
+crashes) with deterministic exponential backoff, and
+``--on-failure raise`` aborts on the first cell that exhausts its
+attempts instead of recording it as FAILED.  ``--chaos`` injects
+deterministic faults for testing the supervision layer itself::
+
+    python -m repro sweep fig2 --grid-seeds 1 2 3 --timeout 120 \
+        --retries 2 --chaos '[{"cell": "fig2[seed=1]", "mode": "kill",
+        "attempts": [1]}]'
 """
 
 from __future__ import annotations
@@ -41,7 +54,9 @@ import time
 from typing import List, Optional
 
 from repro.core.config import QUICK_CYCLES, QUICK_REPETITIONS  # noqa: F401 (re-export)
+from repro.pipeline import faults
 from repro.pipeline.artifacts import SweepResult
+from repro.pipeline.chaos import ChaosPlan
 from repro.pipeline.registry import DEFAULT_REGISTRY, RunOptions, SpecGrid
 from repro.pipeline.runner import ExperimentRunner
 from repro.pipeline.store import ResultStore
@@ -165,6 +180,67 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes for --backend process (default: one per scenario, capped at the CPU count)",
+    )
+    sweep_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock budget; a hung cell is timed out (and its "
+            "worker killed and replaced on --backend process) instead of "
+            "stalling the sweep"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "extra attempts for transiently failed cells (timeouts, worker "
+            "crashes); deterministic in-cell exceptions never retry "
+            "(default: 0)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help=(
+            "base delay before a retry, doubled per attempt with "
+            "deterministic jitter (default: 0.1)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--on-failure",
+        choices=faults.ON_FAILURE_CHOICES,
+        default=faults.ON_FAILURE_RECORD,
+        help=(
+            "record: a cell that exhausts its attempts becomes a FAILED "
+            "result and the sweep continues (default); raise: abort the "
+            "sweep on the first such cell (completed cells are already in "
+            "--store)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="JSON",
+        help=(
+            "deterministic fault injection for testing: a JSON list of "
+            'rules like [{"cell": "fig2[seed=1]", "mode": "kill", '
+            '"attempts": [1]}] (modes: raise, hang, kill), or @FILE to '
+            "read the JSON from a file"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for probabilistic --chaos rules (default: 0)",
     )
     sweep_parser.add_argument(
         "--grid-chips",
@@ -368,18 +444,50 @@ def _expand_grid(parser: argparse.ArgumentParser, args: argparse.Namespace, spec
     return expanded
 
 
+def _chaos_plan(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> Optional[ChaosPlan]:
+    """Parse ``--chaos`` (inline JSON or ``@FILE``), if given."""
+    text = args.chaos
+    if text is None:
+        return None
+    if text.startswith("@"):
+        try:
+            text = pathlib.Path(text[1:]).read_text()
+        except OSError as error:
+            parser.error(f"--chaos: cannot read {text[1:]!r}: {error}")
+    try:
+        return ChaosPlan.coerce(text, seed=args.chaos_seed)
+    except (ValueError, KeyError, TypeError) as error:
+        parser.error(f"--chaos: invalid fault plan: {error}")
+
+
 def _cmd_sweep(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     specs = _resolve_or_exit(parser, runner, args, args.scenarios)
     specs = _expand_grid(parser, args, specs)
     store = _store_for(args)
-    sweep = runner.run_many(
-        specs,
-        backend=args.backend,
-        max_workers=args.workers,
-        store=store,
-        resume=args.resume,
-    )
+    retry = None
+    if args.retries:
+        retry = faults.RetryPolicy(
+            max_attempts=args.retries + 1, backoff_s=args.retry_backoff
+        )
+    try:
+        sweep = runner.run_many(
+            specs,
+            backend=args.backend,
+            max_workers=args.workers,
+            store=store,
+            resume=args.resume,
+            timeout=args.timeout,
+            retry=retry,
+            on_failure=args.on_failure,
+            chaos=_chaos_plan(parser, args),
+        )
+    except faults.CellFailed as failure:
+        print(f"sweep aborted (--on-failure raise): {failure}", file=sys.stderr)
+        _print_store_summary(store)
+        return 1
     print(sweep.to_text())
     _print_store_summary(store)
     if args.json_path:
@@ -459,6 +567,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--grid-lengths values must be positive")
     if getattr(args, "resume", False) and not getattr(args, "store_dir", None):
         parser.error("--resume requires --store DIR")
+    if getattr(args, "timeout", None) is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if getattr(args, "retries", 0) and args.retries < 0:
+        parser.error("--retries must be non-negative")
+    if getattr(args, "retry_backoff", None) is not None and args.retry_backoff < 0:
+        parser.error("--retry-backoff must be non-negative")
 
     try:
         if args.experiment == "list":

@@ -19,12 +19,27 @@ The public surface:
 * :class:`ResultStore` -- content-addressed memoization of results by
   (spec hash, code version), making sweeps resumable
   (``run_many(..., store=..., resume=True)``, see
-  :mod:`repro.pipeline.store`).
+  :mod:`repro.pipeline.store`);
+* :class:`RetryPolicy` / :class:`Supervision` / :data:`FAILURE_KINDS` --
+  the fault-tolerance policy layer (per-cell timeouts, retries with
+  deterministic backoff, failure taxonomy, graceful shutdown; see
+  :mod:`repro.pipeline.faults`), plus :class:`ChaosPlan` /
+  :class:`FaultSpec` for deterministic fault injection
+  (:mod:`repro.pipeline.chaos`).
 """
 
 from repro.core.spec import ScenarioSpec
 from repro.pipeline.artifacts import Provenance, ScenarioResult, SweepResult
 from repro.pipeline.backends import BACKEND_CHOICES, BACKENDS
+from repro.pipeline.chaos import ChaosPlan, FaultSpec
+from repro.pipeline.faults import (
+    FAILURE_KINDS,
+    CellFailed,
+    InjectedFault,
+    RetryPolicy,
+    Supervision,
+    TransientError,
+)
 from repro.pipeline.store import ResultStore, StoreStats, code_version_salt
 from repro.pipeline.registry import (
     DEFAULT_REGISTRY,
@@ -44,6 +59,14 @@ __all__ = [
     "SweepResult",
     "BACKENDS",
     "BACKEND_CHOICES",
+    "FAILURE_KINDS",
+    "RetryPolicy",
+    "Supervision",
+    "CellFailed",
+    "TransientError",
+    "InjectedFault",
+    "ChaosPlan",
+    "FaultSpec",
     "ResultStore",
     "StoreStats",
     "code_version_salt",

@@ -37,10 +37,14 @@ PathLike = Union[str, pathlib.Path]
 
 #: Schema version of the artifact JSON form.  Part of the result store's
 #: code-version salt: bumping it invalidates memoized results whose
-#: serialized shape changed.
-ARTIFACT_SCHEMA_VERSION = 1
+#: serialized shape changed.  v2 added ``error_kind`` (failure taxonomy)
+#: and ``provenance.attempts`` (retry accounting); v1 artifacts still load.
+ARTIFACT_SCHEMA_VERSION = 2
 
 _ARTIFACT_SCHEMA_VERSION = ARTIFACT_SCHEMA_VERSION
+
+#: Versions :meth:`ScenarioResult.load`/``SweepResult.load`` accept.
+_READABLE_SCHEMA_VERSIONS = (1, 2)
 
 
 @functools.lru_cache(maxsize=1)
@@ -84,6 +88,9 @@ class Provenance:
     environment: Dict[str, str] = field(default_factory=environment_stamp)
     created_at: str = ""
     elapsed_s: float = 0.0
+    #: Execution attempts this result took (1 = first try; >1 means the
+    #: supervision layer retried a transient failure).
+    attempts: int = 1
 
     def __post_init__(self) -> None:
         if not self.created_at:
@@ -100,6 +107,7 @@ class Provenance:
             "environment": dict(self.environment),
             "created_at": self.created_at,
             "elapsed_s": self.elapsed_s,
+            "attempts": self.attempts,
         }
 
     @classmethod
@@ -111,6 +119,7 @@ class Provenance:
             environment=dict(payload.get("environment", {})),
             created_at=payload.get("created_at", ""),
             elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            attempts=int(payload.get("attempts", 1)),
         )
 
 
@@ -142,6 +151,12 @@ class ScenarioResult:
     #: result (sweep backends capture per-cell failures); ``None`` on
     #: success.
     error: Optional[str] = None
+    #: Failure category of ``error`` -- one of
+    #: :data:`repro.pipeline.faults.FAILURE_KINDS` (``exception`` /
+    #: ``timeout`` / ``worker-crash`` / ``cancelled``); ``None`` on
+    #: success.  A never-executed cell is ``cancelled``, not a generic
+    #: failure, so reports distinguish "it broke" from "it never ran".
+    error_kind: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -177,6 +192,7 @@ class ScenarioResult:
             },
             "report": self.report,
             "error": self.error,
+            "error_kind": self.error_kind,
         }
 
     @classmethod
@@ -184,15 +200,22 @@ class ScenarioResult:
         cls, payload: Dict[str, Any], arrays: Dict[str, np.ndarray]
     ) -> "ScenarioResult":
         version = payload.get("schema_version", _ARTIFACT_SCHEMA_VERSION)
-        if version != _ARTIFACT_SCHEMA_VERSION:
+        if version not in _READABLE_SCHEMA_VERSIONS:
             raise ValueError(f"unsupported artifact schema version {version!r}")
+        error = payload.get("error")
+        # v1 artifacts predate the taxonomy: a recorded failure without a
+        # category is a plain in-cell exception.
+        error_kind = payload.get("error_kind")
+        if error is not None and error_kind is None:
+            error_kind = "exception"
         return cls(
             spec=ScenarioSpec.from_json_dict(payload["spec"]),
             provenance=Provenance.from_json_dict(payload["provenance"]),
             scalars=dict(payload.get("scalars", {})),
             arrays=arrays,
             report=payload.get("report", ""),
-            error=payload.get("error"),
+            error=error,
+            error_kind=error_kind if error is not None else None,
         )
 
     def to_wire(self) -> Dict[str, Any]:
@@ -340,7 +363,14 @@ class SweepResult:
         return not self.failures
 
     def to_text(self) -> str:
-        """All reports concatenated in execution order."""
+        """All reports concatenated in execution order.
+
+        When cells failed, the summary is followed by one line per
+        failure with its taxonomy category and attempt count, e.g.
+        ``fig2[seed=3]: worker-crash after 2 attempt(s)`` -- so a report
+        distinguishes a crashed cell from a timed-out one from a cell
+        that was cancelled before it ever ran.
+        """
         blocks = []
         for result in self.results:
             bar = "=" * 78
@@ -348,9 +378,22 @@ class SweepResult:
         summary = (
             f"sweep of {len(self.results)} scenarios in {self.elapsed_s:.2f} s"
         )
-        failed = len(self.failures)
-        if failed:
-            summary += f" ({failed} FAILED)"
+        # Cells cancelled by an interrupt never ran -- they are counted
+        # apart from genuine failures, not reported as FAILED.
+        failed = [r for r in self.failures if r.error_kind != "cancelled"]
+        cancelled = [r for r in self.failures if r.error_kind == "cancelled"]
+        if failed or cancelled:
+            counts = []
+            if failed:
+                counts.append(f"{len(failed)} FAILED")
+            if cancelled:
+                counts.append(f"{len(cancelled)} cancelled")
+            summary += f" ({', '.join(counts)})"
+            for result in self.failures:
+                summary += (
+                    f"\n  {result.name}: {result.error_kind or 'exception'}"
+                    f" after {result.provenance.attempts} attempt(s)"
+                )
         return "\n\n".join(blocks + [summary])
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -391,7 +434,7 @@ class SweepResult:
         json_path = _json_path(path)
         payload = json.loads(json_path.read_text())
         version = payload.get("schema_version", _ARTIFACT_SCHEMA_VERSION)
-        if version != _ARTIFACT_SCHEMA_VERSION:
+        if version not in _READABLE_SCHEMA_VERSIONS:
             raise ValueError(f"unsupported artifact schema version {version!r}")
         stacked: Dict[str, np.ndarray] = {}
         arrays_file = payload.get("arrays_file")

@@ -5,34 +5,67 @@ Two backends execute a resolved list of :class:`ScenarioSpec` cells:
 ``serial``
     The cells run in submission order inside the calling process, through
     the caller's runner (shared chip provider, warm module-level caches).
+    Per-cell wall-clock timeouts use a SIGALRM deadline (main thread
+    only); chaos worker-kills are *simulated* as raised crashes.
 
 ``process``
-    The cells are dispatched to a :class:`concurrent.futures.ProcessPoolExecutor`.
-    Each worker process builds one :class:`ExperimentRunner` on first use and
-    keeps it for every cell it executes, so the module-level M0-window and
-    background-template caches warm naturally per worker.  Specs travel to
-    the workers as their canonical JSON text and results come back through
-    :meth:`ScenarioResult.to_wire` -- the same JSON + ``.npz`` serialization
-    as :meth:`ScenarioResult.save`/``load``, so the ``payload`` object is
-    dropped exactly like after ``load`` while scalars, arrays and reports
-    stay bit-identical to the serial backend.
+    The cells are dispatched to a supervised pool of worker processes.
+    Each worker runs one cell at a time over its own pipe, builds one
+    :class:`ExperimentRunner` on first use (on fork platforms it adopts a
+    copy-on-write snapshot of the sweep runner, inheriting warm chips and
+    templates), and ships results back through
+    :meth:`ScenarioResult.to_wire` -- the same JSON + ``.npz``
+    serialization as ``save``/``load``, so scalars, arrays and reports
+    stay bit-identical to the serial backend while the in-memory
+    ``payload`` is dropped.
 
-Both backends capture per-cell failures: a scenario that raises produces a
-:class:`ScenarioResult` with :attr:`~ScenarioResult.error` set (and a
-``FAILED`` report) instead of killing the whole sweep, and results are
-always reassembled in submission order.
+Both backends run under one supervision policy
+(:class:`repro.pipeline.faults.Supervision`):
+
+* every failure is *classified* (``exception`` / ``timeout`` /
+  ``worker-crash`` / ``cancelled``) and captured per cell -- one bad cell
+  never kills the sweep;
+* transient failures (timeouts, worker crashes, :class:`TransientError`)
+  retry with deterministic exponential backoff, and the attempt count is
+  recorded in the result's provenance -- a retried cell re-executes the
+  same frozen spec, so its result is bit-identical to a clean run;
+* a cell over its wall-clock budget has its worker killed and replaced,
+  so a hung cell cannot stall sibling cells;
+* a cell that repeatedly kills its worker is quarantined instead of
+  poisoning the pool, and a pool that keeps breaking falls back to the
+  serial backend for the remaining cells;
+* ``on_result`` fires in the parent as each cell finishes (success or
+  failure), which is how ``run_many`` flushes completed cells to the
+  result store incrementally -- an interrupt mid-sweep loses nothing that
+  already finished;
+* :class:`SweepInterrupted` (SIGINT/SIGTERM under
+  :func:`faults.graceful_shutdown`) stops the sweep orderly: in-flight
+  and queued cells are recorded as ``cancelled``, never as spurious
+  failures.
+
+Fault injection (:mod:`repro.pipeline.chaos`) hooks in just before a
+cell's pipeline runs, on both backends, so the whole supervision layer is
+testable deterministically.
 """
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import logging
 import multiprocessing
+import multiprocessing.connection
 import os
+import signal
+import threading
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence
+from collections import deque
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.spec import ScenarioSpec
+from repro.pipeline import chaos as chaos_mod
+from repro.pipeline import faults
 from repro.pipeline.artifacts import Provenance, ScenarioResult
 
 logger = logging.getLogger(__name__)
@@ -48,6 +81,13 @@ BACKEND_CHOICES = ("auto",) + BACKENDS
 #: single cell has nothing to overlap, so fork + wire overhead can only
 #: lose (BENCH.json ``parallel_sweep`` measured 0.75x on one CPU).
 AUTO_MIN_CELLS = 2
+
+#: Supervisor idle tick: the upper bound on how late a deadline or a
+#: backed-off retry is noticed (messages from workers wake it instantly).
+_SUPERVISOR_TICK_S = 0.2
+
+#: The per-cell result callback: ``on_result(index, result)``.
+OnResult = Optional[Callable[[int, ScenarioResult], None]]
 
 
 def choose_backend(num_specs: int) -> str:
@@ -85,13 +125,52 @@ def resolve_backend(backend: str, num_specs: int) -> str:
     return backend
 
 
-def failed_result(spec: ScenarioSpec, error: str) -> ScenarioResult:
+def _cell_name(spec: ScenarioSpec) -> str:
+    return spec.name or spec.kind
+
+
+def failed_result(
+    spec: ScenarioSpec,
+    error: str,
+    kind: str = faults.EXCEPTION,
+    attempts: int = 1,
+) -> ScenarioResult:
     """The placeholder artifact recording one failed sweep cell."""
     return ScenarioResult(
         spec=spec,
-        provenance=Provenance(spec_hash=spec.spec_hash(), elapsed_s=0.0),
-        report=f"scenario {spec.name or spec.kind} FAILED:\n{error}",
+        provenance=Provenance(
+            spec_hash=spec.spec_hash(), elapsed_s=0.0, attempts=attempts
+        ),
+        report=(
+            f"scenario {_cell_name(spec)} FAILED: {kind} "
+            f"after {attempts} attempt(s)\n{error}"
+        ),
         error=error,
+        error_kind=kind,
+    )
+
+
+def cancelled_result(spec: ScenarioSpec, attempts: int = 0) -> ScenarioResult:
+    """The artifact recording a cell the sweep never finished.
+
+    ``attempts`` counts the attempts *started* before the interrupt (0
+    for a cell that was still queued).  Distinct from a failure: the cell
+    did not break, the sweep stopped -- its report says CANCELLED, not
+    FAILED, and resuming against a result store re-executes exactly
+    these cells.
+    """
+    error = (
+        "sweep interrupted before this cell finished; "
+        "resume with a result store to execute it"
+    )
+    return ScenarioResult(
+        spec=spec,
+        provenance=Provenance(
+            spec_hash=spec.spec_hash(), elapsed_s=0.0, attempts=attempts
+        ),
+        report=f"scenario {_cell_name(spec)} CANCELLED: {error}",
+        error=error,
+        error_kind=faults.CANCELLED,
     )
 
 
@@ -108,55 +187,153 @@ def default_max_workers(num_specs: int) -> int:
     return max(1, min(num_specs, available_cpus()))
 
 
-def run_serial(specs: Sequence[ScenarioSpec], runner) -> List[ScenarioResult]:
-    """Execute every cell in order through the caller's runner."""
+# -- serial backend ------------------------------------------------------------
+
+
+_warned_no_alarm = False
+
+
+@contextlib.contextmanager
+def _cell_timeout(timeout_s: Optional[float]):
+    """Arm a SIGALRM deadline raising :class:`faults.CellTimeout`.
+
+    Only usable on the main thread of a POSIX process; elsewhere the
+    timeout is skipped with a (one-time) warning rather than silently
+    promising supervision it cannot deliver.
+    """
+    global _warned_no_alarm
+    usable = (
+        timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        if timeout_s is not None and not _warned_no_alarm:
+            _warned_no_alarm = True
+            logger.warning(
+                "serial per-cell timeout unavailable here (needs SIGALRM on "
+                "the main thread); cells run without a deadline"
+            )
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise faults.CellTimeout()
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _attempt_serial(spec, runner, sup, chaos, attempt):
+    """One serial attempt: ``(result, None)`` or ``(None, CellFailure)``."""
     from repro.pipeline.runner import Pipeline
 
-    results: List[ScenarioResult] = []
-    for spec in specs:
-        try:
-            results.append(Pipeline.from_spec(spec).execute(runner))
-        except Exception:
-            results.append(failed_result(spec, traceback.format_exc()))
+    try:
+        with _cell_timeout(sup.timeout_s):
+            if chaos is not None:
+                fault = chaos.fault_for(_cell_name(spec), attempt)
+                if fault is not None:
+                    chaos_mod.trigger(fault, serial=True)
+            result = Pipeline.from_spec(spec).execute(runner)
+    except faults.CellTimeout:
+        return None, faults.timeout_failure(sup.timeout_s)
+    except Exception as exc:
+        return None, faults.classify_exception(exc, traceback.format_exc())
+    return result, None
+
+
+def _run_cell_serial(
+    spec: ScenarioSpec,
+    runner,
+    sup: faults.Supervision,
+    chaos: Optional[chaos_mod.ChaosPlan],
+    start_attempt: int = 1,
+    prior_crashes: int = 0,
+) -> ScenarioResult:
+    """Execute one cell under the supervision policy, in this process.
+
+    ``start_attempt``/``prior_crashes`` carry accounting over when the
+    process supervisor falls back to serial mid-cell.
+    """
+    attempt = start_attempt
+    crashes = prior_crashes
+    while True:
+        result, failure = _attempt_serial(spec, runner, sup, chaos, attempt)
+        if failure is None:
+            result.provenance = dataclasses.replace(
+                result.provenance, attempts=attempt
+            )
+            return result
+        if failure.kind == faults.WORKER_CRASH:
+            crashes += 1
+            if crashes >= sup.quarantine_after_crashes:
+                return failed_result(
+                    spec,
+                    f"{failure.message}\nquarantined after {crashes} worker "
+                    "crash(es); not retried",
+                    kind=faults.WORKER_CRASH,
+                    attempts=attempt,
+                )
+        if sup.retry.should_retry(failure, attempt):
+            delay = sup.retry.backoff_for(attempt, key=spec.spec_hash())
+            logger.warning(
+                "cell %s attempt %d failed (%s); retrying in %.2f s",
+                _cell_name(spec), attempt, failure.kind, delay,
+            )
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+            continue
+        return failed_result(
+            spec, failure.message, kind=failure.kind, attempts=attempt
+        )
+
+
+def run_serial(
+    specs: Sequence[ScenarioSpec],
+    runner,
+    supervision: Optional[faults.Supervision] = None,
+    chaos: Optional[chaos_mod.ChaosPlan] = None,
+    on_result: OnResult = None,
+) -> List[ScenarioResult]:
+    """Execute every cell in order through the caller's runner.
+
+    ``on_result(index, result)`` fires as each cell settles (success,
+    failure, or cancellation).  A :class:`faults.SweepInterrupted` raised
+    mid-sweep (see :func:`faults.graceful_shutdown`) records the current
+    and remaining cells as ``cancelled`` and returns the partial results
+    instead of propagating.
+    """
+    sup = supervision or faults.Supervision()
+    results: List[Optional[ScenarioResult]] = [None] * len(specs)
+
+    def settle(index: int, result: ScenarioResult) -> None:
+        results[index] = result
+        if on_result is not None:
+            on_result(index, result)
+
+    try:
+        for index, spec in enumerate(specs):
+            settle(index, _run_cell_serial(spec, runner, sup, chaos))
+            if not results[index].ok and sup.on_failure == faults.ON_FAILURE_RAISE:
+                raise faults.CellFailed(results[index])
+    except faults.SweepInterrupted as stop:
+        logger.warning(
+            "%s; cancelling %d unfinished cell(s)",
+            stop, sum(result is None for result in results),
+        )
+    for index, spec in enumerate(specs):
+        if results[index] is None:
+            settle(index, cancelled_result(spec))
     return results
 
 
-#: The per-process runner, created lazily on the first cell a worker sees
-#: (or installed at worker startup by :func:`_adopt_runner`).
-_WORKER_RUNNER = None
-
-
-def _adopt_runner(runner) -> None:
-    """Pool initializer under fork: adopt the sweep runner's snapshot.
-
-    A forked child copies the parent's memory, so handing the worker the
-    sweep's own :class:`ExperimentRunner` gives it the already-warm chip
-    instances (and their watermark period templates) instead of
-    rebuilding them per process.  Runs in the worker, per pool, so
-    concurrent ``run_process`` calls cannot interfere with each other.
-    """
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = runner
-
-
-def _worker_run_spec(spec_json: str):
-    """Worker body: rebuild the spec, run it, ship the result back as wire.
-
-    Returns ``(True, wire_dict)`` on success or ``(False, traceback_text)``
-    on failure -- exceptions never cross the process boundary raw, so one
-    failing cell cannot poison the pool.
-    """
-    global _WORKER_RUNNER
-    try:
-        if _WORKER_RUNNER is None:
-            from repro.pipeline.runner import ExperimentRunner
-
-            _WORKER_RUNNER = ExperimentRunner()
-        spec = ScenarioSpec.from_json(spec_json)
-        result = _WORKER_RUNNER.run(spec)
-        return True, result.to_wire()
-    except Exception:
-        return False, traceback.format_exc()
+# -- process backend -----------------------------------------------------------
 
 
 def _pool_context():
@@ -167,42 +344,437 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _supervised_worker(conn, runner, chaos) -> None:
+    """Worker body: one cell at a time over ``conn``, until ``None``/EOF.
+
+    Exceptions never cross the pipe raw: the worker ships
+    ``("ok", wire)``, ``("transient", traceback)`` or
+    ``("error", traceback)`` and the parent classifies.  A chaos ``kill``
+    fault hard-exits here (``os._exit``), which the parent observes as a
+    dead worker.  SIGINT is ignored -- a Ctrl-C to the foreground process
+    group must interrupt only the parent's supervisor, not look like a
+    spontaneous crash of every worker.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic contexts
+        pass
+    from repro.pipeline.runner import ExperimentRunner, Pipeline
+
+    if runner is None:
+        runner = ExperimentRunner()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if task is None:
+            return
+        spec_json, attempt = task
+        try:
+            spec = ScenarioSpec.from_json(spec_json)
+            if chaos is not None:
+                fault = chaos.fault_for(_cell_name(spec), attempt)
+                if fault is not None:
+                    chaos_mod.trigger(fault)  # "kill" never returns
+            result = Pipeline.from_spec(spec).execute(runner)
+            message = ("ok", result.to_wire())
+        except faults.TransientError:
+            message = ("transient", traceback.format_exc())
+        except Exception:
+            message = ("error", traceback.format_exc())
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):  # parent went away
+            return
+
+
+class _Task:
+    """One in-flight attempt of one cell on one worker."""
+
+    __slots__ = ("index", "attempt", "deadline")
+
+    def __init__(self, index: int, attempt: int, deadline: Optional[float]):
+        self.index = index
+        self.attempt = attempt
+        self.deadline = deadline
+
+
+class _Worker:
+    """A worker process, its parent-side pipe end, and its current task."""
+
+    __slots__ = ("process", "conn", "task")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.task: Optional[_Task] = None
+
+
+class _ProcessSupervisor:
+    """Supervises a pool of single-cell workers executing one sweep.
+
+    The event loop dispatches at most one cell per worker, watches worker
+    pipes and process sentinels, enforces per-cell deadlines by killing
+    and replacing hung workers, classifies and retries failures per the
+    supervision policy, quarantines cells that repeatedly kill their
+    worker, and degrades to the serial backend when the pool itself keeps
+    breaking.
+    """
+
+    def __init__(self, specs, max_workers, runner, sup, chaos, on_result):
+        self.specs = list(specs)
+        self.max_workers = max_workers
+        self.runner = runner
+        self.sup = sup
+        self.chaos = chaos
+        self.on_result = on_result
+        self.context = _pool_context()
+        self.results: List[Optional[ScenarioResult]] = [None] * len(self.specs)
+        #: (index, attempt, ready_at) cells awaiting dispatch, FIFO with
+        #: backed-off retries gated by ``ready_at`` (monotonic seconds).
+        self.queue = deque(
+            (index, 1, 0.0) for index in range(len(self.specs))
+        )
+        self.crashes = {}  # index -> worker crashes caused by that cell
+        self.total_crashes = 0
+        self.workers: List[_Worker] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run(self) -> List[ScenarioResult]:
+        for _ in range(min(self.max_workers, len(self.specs))):
+            self.workers.append(self._spawn_worker())
+        try:
+            try:
+                self._supervise()
+            except faults.SweepInterrupted as stop:
+                logger.warning(
+                    "%s; cancelling %d unfinished cell(s)",
+                    stop,
+                    sum(result is None for result in self.results),
+                )
+                self._cancel_unfinished()
+        finally:
+            self._shutdown()
+        return self.results
+
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self.context.Pipe()
+        # Under fork the runner reference crosses via copy-on-write memory
+        # (nothing is pickled) and the worker inherits its warm chips;
+        # other start methods rebuild a fresh runner per worker.
+        runner = self.runner if self.context.get_start_method() == "fork" else None
+        process = self.context.Process(
+            target=_supervised_worker,
+            args=(child_conn, runner, self.chaos),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def _replace_worker(self, worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.kill()
+        worker.process.join(1.0)
+        self.workers[self.workers.index(worker)] = self._spawn_worker()
+
+    def _shutdown(self) -> None:
+        for worker in self.workers:
+            if worker.task is None and worker.process.is_alive():
+                try:
+                    worker.conn.send(None)  # polite: let idle workers exit
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in self.workers:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            worker.process.join(0.2)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+
+    # -- event loop ------------------------------------------------------------
+
+    def _done(self) -> bool:
+        return all(result is not None for result in self.results)
+
+    def _supervise(self) -> None:
+        while not self._done():
+            self._reap_messages()
+            self._reap_crashes()
+            self._reap_timeouts()
+            if self.total_crashes >= self.sup.serial_fallback_crashes:
+                self._fall_back_to_serial()
+                return
+            self._dispatch()
+            if self._done():
+                return
+            self._wait()
+
+    def _settle(self, index: int, result: ScenarioResult) -> None:
+        self.results[index] = result
+        if self.on_result is not None:
+            self.on_result(index, result)
+        if not result.ok and self.sup.on_failure == faults.ON_FAILURE_RAISE:
+            raise faults.CellFailed(result)
+
+    def _resolve_failure(self, task: _Task, failure: faults.CellFailure) -> None:
+        spec = self.specs[task.index]
+        if failure.kind == faults.WORKER_CRASH:
+            count = self.crashes.get(task.index, 0) + 1
+            self.crashes[task.index] = count
+            self.total_crashes += 1
+            if count >= self.sup.quarantine_after_crashes:
+                self._settle(
+                    task.index,
+                    failed_result(
+                        spec,
+                        f"{failure.message}\nquarantined after {count} worker "
+                        "crash(es); not retried",
+                        kind=faults.WORKER_CRASH,
+                        attempts=task.attempt,
+                    ),
+                )
+                return
+        if self.sup.retry.should_retry(failure, task.attempt):
+            delay = self.sup.retry.backoff_for(task.attempt, key=spec.spec_hash())
+            logger.warning(
+                "cell %s attempt %d failed (%s); retrying in %.2f s",
+                _cell_name(spec), task.attempt, failure.kind, delay,
+            )
+            self.queue.append(
+                (task.index, task.attempt + 1, time.monotonic() + delay)
+            )
+            return
+        self._settle(
+            task.index,
+            failed_result(
+                spec, failure.message, kind=failure.kind, attempts=task.attempt
+            ),
+        )
+
+    def _try_receive(self, worker: _Worker) -> Optional[str]:
+        """Consume one buffered worker message, settling its task.
+
+        Returns ``"msg"`` if a message was consumed, ``"eof"`` if the
+        pipe is at end-of-file (the worker is dead -- a dead worker's
+        closed pipe reads as *ready*, so ``poll()`` alone cannot tell a
+        result from a corpse), or ``None`` if nothing is buffered.
+        """
+        if not worker.conn.poll(0):
+            return None
+        try:
+            status, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            return "eof"
+        task, worker.task = worker.task, None
+        if task is None:  # pragma: no cover - defensive
+            return "msg"
+        if status == "ok":
+            result = ScenarioResult.from_wire(payload)
+            result.provenance = dataclasses.replace(
+                result.provenance, attempts=task.attempt
+            )
+            self._settle(task.index, result)
+        else:
+            self._resolve_failure(
+                task,
+                faults.CellFailure(
+                    kind=faults.EXCEPTION,
+                    message=payload,
+                    retryable=(status == "transient"),
+                ),
+            )
+        return "msg"
+
+    def _handle_dead_worker(self, worker: _Worker) -> None:
+        task, worker.task = worker.task, None
+        exitcode = worker.process.exitcode
+        self._replace_worker(worker)
+        if task is None:
+            # An idle worker dying is still a broken pool.
+            self.total_crashes += 1
+            return
+        detail = (
+            f"worker process died (exit code {exitcode}) while executing "
+            f"attempt {task.attempt} of cell "
+            f"{_cell_name(self.specs[task.index])}"
+        )
+        logger.warning("%s", detail)
+        self._resolve_failure(task, faults.crash_failure(detail))
+
+    def _reap_messages(self) -> None:
+        for worker in list(self.workers):
+            if worker.task is None:
+                continue
+            if self._try_receive(worker) == "eof":
+                self._handle_dead_worker(worker)
+
+    def _reap_crashes(self) -> None:
+        for worker in list(self.workers):
+            if worker.process.is_alive():
+                continue
+            # A worker that finished its cell and then died still has the
+            # result buffered -- consume it before declaring the crash.
+            self._try_receive(worker)
+            self._handle_dead_worker(worker)
+
+    def _reap_timeouts(self) -> None:
+        if self.sup.timeout_s is None:
+            return
+        now = time.monotonic()
+        for worker in list(self.workers):
+            task = worker.task
+            if task is None or task.deadline is None or now < task.deadline:
+                continue
+            worker.task = None
+            logger.warning(
+                "cell %s attempt %d exceeded its %.1f s timeout; killing "
+                "worker pid %s",
+                _cell_name(self.specs[task.index]), task.attempt,
+                self.sup.timeout_s, worker.process.pid,
+            )
+            worker.process.kill()
+            self._replace_worker(worker)
+            self._resolve_failure(task, faults.timeout_failure(self.sup.timeout_s))
+
+    def _dispatch(self) -> None:
+        now = time.monotonic()
+        for worker in self.workers:
+            if worker.task is not None:
+                continue
+            item = self._pop_ready(now)
+            if item is None:
+                return
+            index, attempt, _ = item
+            deadline = (
+                now + self.sup.timeout_s if self.sup.timeout_s is not None else None
+            )
+            try:
+                worker.conn.send(
+                    (self.specs[index].to_json(indent=None), attempt)
+                )
+            except (BrokenPipeError, OSError):
+                # Worker died before it could accept the task; requeue and
+                # let the crash reaper replace the worker.
+                self.queue.appendleft((index, attempt, 0.0))
+                continue
+            worker.task = _Task(index, attempt, deadline)
+
+    def _pop_ready(self, now: float):
+        """The first queued cell whose backoff has elapsed, if any."""
+        for position, item in enumerate(self.queue):
+            if item[2] <= now:
+                del self.queue[position]
+                return item
+        return None
+
+    def _wait(self) -> None:
+        now = time.monotonic()
+        waits = [_SUPERVISOR_TICK_S]
+        for worker in self.workers:
+            if worker.task is not None and worker.task.deadline is not None:
+                waits.append(worker.task.deadline - now)
+        for _, _, ready_at in self.queue:
+            waits.append(ready_at - now)
+        timeout = max(0.001, min(waits))
+        handles = []
+        for worker in self.workers:
+            if worker.task is not None:
+                handles.append(worker.conn)
+                handles.append(worker.process.sentinel)
+        if handles:
+            multiprocessing.connection.wait(handles, timeout)
+        else:
+            time.sleep(min(timeout, 0.05))
+
+    # -- degradation paths -----------------------------------------------------
+
+    def _unfinished(self):
+        """Every unsettled (index, attempt) pair, in submission order."""
+        pairs = {index: attempt for index, attempt, _ in self.queue}
+        for worker in self.workers:
+            if worker.task is not None:
+                pairs[worker.task.index] = worker.task.attempt
+        return sorted(pairs.items())
+
+    def _fall_back_to_serial(self) -> None:
+        unfinished = self._unfinished()
+        logger.warning(
+            "process pool broke %d time(s); falling back to the serial "
+            "backend for %d unfinished cell(s)",
+            self.total_crashes, len(unfinished),
+        )
+        for worker in self.workers:
+            worker.task = None
+            if worker.process.is_alive():
+                worker.process.kill()
+        self.queue.clear()
+        runner = self.runner
+        if runner is None:
+            from repro.pipeline.runner import ExperimentRunner
+
+            runner = ExperimentRunner()
+        for index, attempt in unfinished:
+            self._settle(
+                index,
+                _run_cell_serial(
+                    self.specs[index],
+                    runner,
+                    self.sup,
+                    self.chaos,
+                    start_attempt=attempt,
+                    prior_crashes=self.crashes.get(index, 0),
+                ),
+            )
+
+    def _cancel_unfinished(self) -> None:
+        for worker in self.workers:
+            task, worker.task = worker.task, None
+            if task is not None and self.results[task.index] is None:
+                self._settle(
+                    task.index,
+                    cancelled_result(self.specs[task.index], attempts=task.attempt),
+                )
+        while self.queue:
+            index, attempt, _ = self.queue.popleft()
+            if self.results[index] is None:
+                self._settle(
+                    index,
+                    cancelled_result(self.specs[index], attempts=attempt - 1),
+                )
+
+
 def run_process(
     specs: Sequence[ScenarioSpec],
     max_workers: Optional[int] = None,
     runner=None,
+    supervision: Optional[faults.Supervision] = None,
+    chaos: Optional[chaos_mod.ChaosPlan] = None,
+    on_result: OnResult = None,
 ) -> List[ScenarioResult]:
-    """Execute the cells on a process pool, results in submission order.
+    """Execute the cells on a supervised process pool, in submission order.
 
     When ``runner`` is the sweep's :class:`ExperimentRunner` and the
     platform forks workers, the workers adopt (a copy-on-write snapshot
     of) that runner, inheriting its warm chips; otherwise each worker
-    builds a fresh runner on first use.  The handoff rides the pool's
-    ``initializer`` (fork passes the reference through process memory,
-    nothing is pickled), so concurrent sweeps never see each other's
-    runner.
+    builds a fresh runner on first use.  Supervision semantics (timeouts,
+    retries, quarantine, serial fallback, cancellation, ``on_result``)
+    are described on :class:`_ProcessSupervisor` and in
+    :mod:`repro.pipeline.faults`.
     """
+    sup = supervision or faults.Supervision()
     if max_workers is None:
         max_workers = default_max_workers(len(specs))
-    context = _pool_context()
-    pool_kwargs = {}
-    if runner is not None and context.get_start_method() == "fork":
-        pool_kwargs = {"initializer": _adopt_runner, "initargs": (runner,)}
-    results: List[ScenarioResult] = []
-    with ProcessPoolExecutor(
-        max_workers=max_workers, mp_context=context, **pool_kwargs
-    ) as pool:
-        futures = [
-            pool.submit(_worker_run_spec, spec.to_json(indent=None))
-            for spec in specs
-        ]
-        for spec, future in zip(specs, futures):
-            try:
-                ok, payload = future.result()
-            except Exception as error:  # the worker process itself died
-                ok, payload = False, f"{type(error).__name__}: {error}"
-            if ok:
-                results.append(ScenarioResult.from_wire(payload))
-            else:
-                results.append(failed_result(spec, payload))
-    return results
+    supervisor = _ProcessSupervisor(
+        specs, max_workers, runner, sup, chaos, on_result
+    )
+    return supervisor.run()

@@ -30,8 +30,9 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from repro.caching import LRUCache
 from repro.core.spec import ScenarioSpec
 from repro.experiments.common import build_watermark
-from repro.pipeline import backends
+from repro.pipeline import backends, faults
 from repro.pipeline.artifacts import Provenance, ScenarioResult, SweepResult
+from repro.pipeline.chaos import ChaosPlan
 from repro.pipeline.stages import PipelineStage, StageContext, stages_for
 from repro.pipeline.store import ResultStore
 from repro.soc.registry import build_registered_chip, workload_program
@@ -174,6 +175,10 @@ class ExperimentRunner:
         max_workers: Optional[int] = None,
         store: Optional[Union[ResultStore, str, pathlib.Path]] = None,
         resume: bool = True,
+        timeout: Optional[float] = None,
+        retry: Optional[Union[int, faults.RetryPolicy]] = None,
+        on_failure: str = faults.ON_FAILURE_RECORD,
+        chaos: Optional[Union[ChaosPlan, str, Sequence]] = None,
     ) -> SweepResult:
         """Execute a batch of scenarios, serially or on a process pool.
 
@@ -201,9 +206,31 @@ class ExperimentRunner:
 
         Resolution errors (unknown names, missing spec files) raise before
         anything runs; *execution* failures are captured per cell (the
-        result carries ``error`` + a ``FAILED`` report) so one bad cell
-        never kills the sweep.  ``elapsed_s`` of the returned
-        :class:`SweepResult` is always the caller-observed wall clock.
+        result carries ``error`` + ``error_kind`` + a ``FAILED`` report)
+        so one bad cell never kills the sweep.  ``elapsed_s`` of the
+        returned :class:`SweepResult` is always the caller-observed wall
+        clock.
+
+        Supervision (see :mod:`repro.pipeline.faults`): ``timeout`` is a
+        per-cell wall-clock budget in seconds -- on the process backend a
+        hung cell's worker is killed and replaced without stalling sibling
+        cells.  ``retry`` is a retry *count* or a full
+        :class:`~repro.pipeline.faults.RetryPolicy`; only transient
+        failures (timeouts, worker crashes,
+        :class:`~repro.pipeline.faults.TransientError`) are retried, with
+        deterministic backoff, and attempt counts land in each result's
+        provenance.  ``on_failure="raise"`` aborts the sweep with
+        :class:`~repro.pipeline.faults.CellFailed` once a cell exhausts
+        its attempts (default ``"record"`` keeps sweeping).  ``chaos``
+        injects deterministic faults for testing (see
+        :mod:`repro.pipeline.chaos`).
+
+        Completed cells are flushed to the store *as they finish*, and
+        SIGINT/SIGTERM during the sweep trigger an orderly shutdown:
+        unfinished cells are recorded as ``cancelled`` and the partial
+        sweep returns normally -- so an interrupted run loses nothing
+        already computed and ``--resume`` picks up exactly where it
+        stopped.
         """
         specs: Sequence[ScenarioSpec] = [self.resolve(s) for s in scenarios]
         if not specs:
@@ -211,6 +238,12 @@ class ExperimentRunner:
         chosen = backends.resolve_backend(backend, len(specs))
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        supervision = faults.Supervision(
+            timeout_s=timeout,
+            retry=faults.RetryPolicy.coerce(retry),
+            on_failure=on_failure,
+        )
+        chaos_plan = ChaosPlan.coerce(chaos)
         store = ResultStore.coerce(store)
         start = time.perf_counter()
         results: List[Optional[ScenarioResult]] = [None] * len(specs)
@@ -229,16 +262,33 @@ class ExperimentRunner:
             )
         if pending:
             pending_specs = [specs[index] for index in pending]
-            if chosen == "serial":
-                executed = backends.run_serial(pending_specs, self)
-            else:
-                executed = backends.run_process(
-                    pending_specs, max_workers=max_workers, runner=self
-                )
-            for index, result in zip(pending, executed):
-                results[index] = result
+
+            def on_result(local_index: int, result: ScenarioResult) -> None:
+                # Incremental write-back: a completed cell reaches the
+                # store the moment it finishes, so a crash or interrupt
+                # later in the sweep cannot lose it.
+                results[pending[local_index]] = result
                 if store is not None and result.ok:
                     store.put(result)
+
+            with faults.graceful_shutdown():
+                if chosen == "serial":
+                    backends.run_serial(
+                        pending_specs,
+                        self,
+                        supervision=supervision,
+                        chaos=chaos_plan,
+                        on_result=on_result,
+                    )
+                else:
+                    backends.run_process(
+                        pending_specs,
+                        max_workers=max_workers,
+                        runner=self,
+                        supervision=supervision,
+                        chaos=chaos_plan,
+                        on_result=on_result,
+                    )
         return SweepResult(results=results, elapsed_s=time.perf_counter() - start)
 
 
