@@ -1,6 +1,19 @@
-"""Area, overhead and robustness analysis (Sections V and VI of the paper)."""
+"""Area, overhead and robustness analysis (Sections V and VI of the paper),
+plus repro-lint, the static determinism & cache-safety analyzer
+(``python -m repro.analysis``)."""
 
 from repro.analysis.area import AreaModel, AreaBreakdown
+from repro.analysis.engine import (
+    Finding,
+    LintModule,
+    Rule,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    unsuppressed,
+)
+from repro.analysis.rules import ALL_RULES, RULE_INDEX
 from repro.analysis.overhead import (
     OverheadRow,
     OverheadTable,
@@ -32,6 +45,16 @@ from repro.analysis.operating_point import (
 )
 
 __all__ = [
+    "ALL_RULES",
+    "RULE_INDEX",
+    "Finding",
+    "LintModule",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "unsuppressed",
     "CornerResult",
     "OperatingPointStudy",
     "run_operating_point_study",

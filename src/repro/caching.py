@@ -5,6 +5,13 @@ simulated M0 window in :mod:`repro.soc.cpu` and the background-power
 templates in :mod:`repro.soc.chip`).  Both need the same bookkeeping --
 keyed get-or-compute, hit/miss/eviction counters, explicit clearing and an
 LRU size bound -- so it lives here once instead of twice.
+
+Sharing contract: a cached value is served to *every* caller, so an
+ndarray handed to :meth:`LRUCache.get_or_compute`'s ``compute`` must be
+frozen (``array.flags.writeable = False``) before it is returned -- one
+caller mutating a served array would silently corrupt every other
+caller's "cached" result.  The ``CACHE001`` rule in
+:mod:`repro.analysis` enforces this statically at the call sites.
 """
 
 from __future__ import annotations

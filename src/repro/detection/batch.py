@@ -84,6 +84,7 @@ def fold_by_phase(
 
     folded = np.zeros((trials, period), dtype=np.float64)
     start = 0
+    # repro-lint: allow[HOT001] O(num_cycles/chunk) chunk loop, not per-cycle; each pass is a vectorized reshape-fold
     while start < num_cycles:
         stop = min(num_cycles, start + step)
         chunk = matrix[:, start:stop]
@@ -164,6 +165,7 @@ def batch_rotation_correlations(
         from repro.detection.cpa import rotation_correlations
 
         rows = []
+        # repro-lint: allow[HOT001] golden reference path: the naive per-trial method validates the FFT engine bit-for-bit
         for t in range(trials):
             seq_t = x if shared else x[t]
             rows.append(rotation_correlations(seq_t, matrix[t], method="naive"))
@@ -179,6 +181,7 @@ def batch_rotation_correlations(
     # depending on the total matrix size, which would break the bit-identity
     # between a batch of N and N batches of one; per-row BLAS dots do not.
     sum_yy = np.empty(trials, dtype=np.float64)
+    # repro-lint: allow[HOT001] per-row BLAS dots pin batch-size-independent rounding (see comment above); O(trials), not per-cycle
     for t in range(trials):
         sum_yy[t] = matrix[t] @ matrix[t]
     var_y = num_cycles * sum_yy - sum_y * sum_y
@@ -272,6 +275,7 @@ class BatchCPAResult:
         return self.num_trials
 
     def __iter__(self) -> Iterator:
+        # repro-lint: allow[HOT001] convenience iterator materializing scalar CPAResult views; not on the measured path
         for index in range(self.num_trials):
             yield self.result(index)
 
@@ -347,6 +351,7 @@ class BatchCPADetector:
         step = max(1, step)
 
         chunks: List[BatchCPAResult] = []
+        # repro-lint: allow[HOT001] O(trials/chunk) memory-bounding chunk loop; the work inside is the batched engine
         for start in range(0, trials, step):
             stop = min(trials, start + step)
             seq_chunk = x if shared else x[start:stop]

@@ -196,6 +196,7 @@ def run_detection_probability_campaign(
         detections = 0
         peak_sum = 0.0
         z_sum = 0.0
+        # repro-lint: allow[HOT001] O(trials/chunk) memory-bounding chunk loop; synthesis and detection inside are batched
         for start in range(0, trials_per_point, row_step):
             stop = min(trials_per_point, start + row_step)
             # Each row draws its offset then its noise, exactly as the

@@ -69,7 +69,7 @@ def _tiled_rotation(sequence: np.ndarray, rotation: int, length: int) -> np.ndar
 def _rotation_correlations_naive(sequence: np.ndarray, measured: np.ndarray) -> np.ndarray:
     period = len(sequence)
     return np.array(
-        [
+        [  # repro-lint: allow[HOT001] golden reference path: the per-rotation definition the FFT engine is validated against
             pearson_correlation(_tiled_rotation(sequence, rotation, len(measured)), measured)
             for rotation in range(period)
         ]

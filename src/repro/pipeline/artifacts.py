@@ -79,6 +79,19 @@ def environment_stamp() -> Dict[str, str]:
     }
 
 
+def provenance_clock() -> str:
+    """The sole sanctioned wall-clock read: a UTC ISO-8601 creation stamp.
+
+    Every provenance timestamp flows through this helper so
+    deterministic-replay tooling can monkeypatch one symbol instead of
+    chasing ``datetime.now`` call sites.
+    """
+    # repro-lint: allow[DET001] the one sanctioned provenance wall-clock read
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
 @dataclass(frozen=True)
 class Provenance:
     """Where a result came from: spec identity, code version, environment."""
@@ -94,10 +107,7 @@ class Provenance:
 
     def __post_init__(self) -> None:
         if not self.created_at:
-            stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
-                timespec="seconds"
-            )
-            object.__setattr__(self, "created_at", stamp)
+            object.__setattr__(self, "created_at", provenance_clock())
 
     def to_json_dict(self) -> Dict[str, Any]:
         """JSON-able representation."""

@@ -61,7 +61,17 @@ import threading
 import time
 import traceback
 from collections import deque
-from typing import Callable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from repro.core.spec import ScenarioSpec
 from repro.pipeline import chaos as chaos_mod
@@ -194,7 +204,7 @@ _warned_no_alarm = False
 
 
 @contextlib.contextmanager
-def _cell_timeout(timeout_s: Optional[float]):
+def _cell_timeout(timeout_s: Optional[float]) -> Iterator[None]:
     """Arm a SIGALRM deadline raising :class:`faults.CellTimeout`.
 
     Only usable on the main thread of a POSIX process; elsewhere the
@@ -217,6 +227,8 @@ def _cell_timeout(timeout_s: Optional[float]):
         yield
         return
 
+    assert timeout_s is not None  # implied by ``usable``; narrows for mypy
+
     def on_alarm(signum, frame):
         raise faults.CellTimeout()
 
@@ -229,7 +241,13 @@ def _cell_timeout(timeout_s: Optional[float]):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _attempt_serial(spec, runner, sup, chaos, attempt):
+def _attempt_serial(
+    spec: ScenarioSpec,
+    runner,
+    sup: faults.Supervision,
+    chaos: Optional[chaos_mod.ChaosPlan],
+    attempt: int,
+) -> Tuple[Optional[ScenarioResult], Optional[faults.CellFailure]]:
     """One serial attempt: ``(result, None)`` or ``(None, CellFailure)``."""
     from repro.pipeline.runner import Pipeline
 
@@ -265,6 +283,7 @@ def _run_cell_serial(
     while True:
         result, failure = _attempt_serial(spec, runner, sup, chaos, attempt)
         if failure is None:
+            assert result is not None  # the attempt contract: one of the two
             result.provenance = dataclasses.replace(
                 result.provenance, attempts=attempt
             )
@@ -319,9 +338,10 @@ def run_serial(
 
     try:
         for index, spec in enumerate(specs):
-            settle(index, _run_cell_serial(spec, runner, sup, chaos))
-            if not results[index].ok and sup.on_failure == faults.ON_FAILURE_RAISE:
-                raise faults.CellFailed(results[index])
+            result = _run_cell_serial(spec, runner, sup, chaos)
+            settle(index, result)
+            if not result.ok and sup.on_failure == faults.ON_FAILURE_RAISE:
+                raise faults.CellFailed(result)
     except faults.SweepInterrupted as stop:
         logger.warning(
             "%s; cancelling %d unfinished cell(s)",
@@ -330,7 +350,8 @@ def run_serial(
     for index, spec in enumerate(specs):
         if results[index] is None:
             settle(index, cancelled_result(spec))
-    return results
+    # Every slot was settled above; the Optional is only for mid-sweep state.
+    return cast(List[ScenarioResult], results)
 
 
 # -- process backend -----------------------------------------------------------
@@ -379,6 +400,11 @@ def _supervised_worker(conn, runner, chaos) -> None:
                     chaos_mod.trigger(fault)  # "kill" never returns
             result = Pipeline.from_spec(spec).execute(runner)
             message = ("ok", result.to_wire())
+        except (faults.CellTimeout, faults.SweepInterrupted):
+            # BaseException-derived control flow must never be folded into
+            # the ("error", ...) taxonomy: the parent supervisor owns
+            # timeout/interrupt handling, so let it propagate.
+            raise
         except faults.TransientError:
             message = ("transient", traceback.format_exc())
         except Exception:
@@ -422,7 +448,15 @@ class _ProcessSupervisor:
     breaking.
     """
 
-    def __init__(self, specs, max_workers, runner, sup, chaos, on_result):
+    def __init__(
+        self,
+        specs: Sequence[ScenarioSpec],
+        max_workers: int,
+        runner,
+        sup: faults.Supervision,
+        chaos: Optional[chaos_mod.ChaosPlan],
+        on_result: OnResult,
+    ) -> None:
         self.specs = list(specs)
         self.max_workers = max_workers
         self.runner = runner
@@ -433,10 +467,11 @@ class _ProcessSupervisor:
         self.results: List[Optional[ScenarioResult]] = [None] * len(self.specs)
         #: (index, attempt, ready_at) cells awaiting dispatch, FIFO with
         #: backed-off retries gated by ``ready_at`` (monotonic seconds).
-        self.queue = deque(
+        self.queue: Deque[Tuple[int, int, float]] = deque(
             (index, 1, 0.0) for index in range(len(self.specs))
         )
-        self.crashes = {}  # index -> worker crashes caused by that cell
+        #: index -> worker crashes caused by that cell
+        self.crashes: Dict[int, int] = {}
         self.total_crashes = 0
         self.workers: List[_Worker] = []
 
@@ -457,7 +492,8 @@ class _ProcessSupervisor:
                 self._cancel_unfinished()
         finally:
             self._shutdown()
-        return self.results
+        # ``_supervise``/``_cancel_unfinished`` settled every slot.
+        return cast(List[ScenarioResult], self.results)
 
     def _spawn_worker(self) -> _Worker:
         parent_conn, child_conn = self.context.Pipe()
@@ -669,7 +705,7 @@ class _ProcessSupervisor:
                 continue
             worker.task = _Task(index, attempt, deadline)
 
-    def _pop_ready(self, now: float):
+    def _pop_ready(self, now: float) -> Optional[Tuple[int, int, float]]:
         """The first queued cell whose backoff has elapsed, if any."""
         for position, item in enumerate(self.queue):
             if item[2] <= now:
@@ -698,7 +734,7 @@ class _ProcessSupervisor:
 
     # -- degradation paths -----------------------------------------------------
 
-    def _unfinished(self):
+    def _unfinished(self) -> List[Tuple[int, int]]:
         """Every unsettled (index, attempt) pair, in submission order."""
         pairs = {index: attempt for index, attempt, _ in self.queue}
         for worker in self.workers:

@@ -35,7 +35,10 @@ import hashlib
 import signal
 import threading
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+if TYPE_CHECKING:  # circular at runtime: artifacts imports nothing from here
+    from repro.pipeline.artifacts import ScenarioResult
 
 #: Failure categories recorded on ``ScenarioResult.error_kind``.
 EXCEPTION = "exception"
@@ -101,7 +104,7 @@ class CellFailed(Exception):
     therefore flushed to the result store, when one is attached).
     """
 
-    def __init__(self, result) -> None:
+    def __init__(self, result: "ScenarioResult") -> None:
         super().__init__(
             f"scenario {result.name!r} failed "
             f"({result.error_kind or EXCEPTION}, "
@@ -181,7 +184,7 @@ class RetryPolicy:
         return cls(max_attempts=1)
 
     @classmethod
-    def coerce(cls, value) -> "RetryPolicy":
+    def coerce(cls, value: Optional[Union[int, "RetryPolicy"]]) -> "RetryPolicy":
         """``None``, a retry *count*, or a policy -> a policy.
 
         An integer is the number of *retries* (extra attempts after the
@@ -263,7 +266,7 @@ _SHUTDOWN_SIGNALS = ("SIGINT", "SIGTERM")
 
 
 @contextlib.contextmanager
-def graceful_shutdown():
+def graceful_shutdown() -> Iterator[None]:
     """Convert the first SIGINT/SIGTERM into :class:`SweepInterrupted`.
 
     Installed around supervised sweep execution (main thread only --

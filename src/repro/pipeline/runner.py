@@ -25,7 +25,7 @@ import logging
 import pathlib
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union, cast
 
 from repro.caching import LRUCache
 from repro.core.spec import ScenarioSpec
@@ -94,16 +94,18 @@ class ExperimentRunner:
         """The chip a spec names, cached per configuration within this runner."""
         if spec.chip is None:
             raise ValueError(f"scenario kind {spec.kind!r} requires a chip")
-        key = (spec.chip, spec.watermark, spec.workload, spec.m0_window_cycles)
+        chip_name = spec.chip  # bound post-check: narrowing does not cross closures
+        key = (chip_name, spec.watermark, spec.workload, spec.m0_window_cycles)
 
         def build():
             return build_registered_chip(
-                spec.chip,
+                chip_name,
                 watermark=build_watermark(spec.watermark),
                 program=workload_program(spec.workload),
                 m0_window_cycles=spec.m0_window_cycles,
             )
 
+        # repro-lint: allow[CACHE001] the chip provider caches ChipModel objects, not arrays; array freezing happens inside the chip's own window cache
         return self._chips.get_or_compute(key, build)
 
     def chip_cache_stats(self):
@@ -289,7 +291,12 @@ class ExperimentRunner:
                         chaos=chaos_plan,
                         on_result=on_result,
                     )
-        return SweepResult(results=results, elapsed_s=time.perf_counter() - start)
+        # Every cell is settled: store hits above, the backend (which
+        # records failures and cancellations as results) for the rest.
+        return SweepResult(
+            results=cast(List[ScenarioResult], results),
+            elapsed_s=time.perf_counter() - start,
+        )
 
 
 def run_scenario(scenario: Union[ScenarioSpec, str]) -> ScenarioResult:

@@ -38,6 +38,7 @@ import json
 import logging
 import os
 import pathlib
+import zipfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -54,6 +55,23 @@ PathLike = Union[str, pathlib.Path]
 
 #: Schema version of the store's entry documents.
 STORE_SCHEMA_VERSION = 1
+
+#: Everything a corrupt-but-parseable entry can raise while
+#: :meth:`ScenarioResult.from_wire` rebuilds it (bad JSON shapes, missing
+#: keys, truncated npz payloads).  Deliberately *not* ``Exception``: the
+#: BaseException-derived sweep control flow (``CellTimeout``,
+#: ``SweepInterrupted``) and genuine bugs must propagate, not be recorded
+#: as cache corruption (EXC001).
+_REBUILD_ERRORS = (
+    KeyError,
+    IndexError,
+    TypeError,
+    ValueError,
+    AttributeError,
+    OSError,
+    EOFError,
+    zipfile.BadZipFile,
+)
 
 
 def code_version_salt(commit: Optional[str] = None) -> str:
@@ -208,7 +226,7 @@ class ResultStore:
             result = ScenarioResult.from_wire(
                 {"json": json.dumps(document["artifact"]), "npz": npz_bytes}
             )
-        except Exception as error:
+        except _REBUILD_ERRORS as error:
             self._note_corrupt(key, f"artifact failed to rebuild ({error})")
             return None
         self._hits += 1
@@ -373,7 +391,7 @@ class ResultStore:
                 ScenarioResult.from_wire(
                     {"json": json.dumps(document["artifact"]), "npz": npz_bytes}
                 )
-            except Exception as error:
+            except _REBUILD_ERRORS as error:
                 problems.append(f"{key}: artifact failed to rebuild ({error})")
         for npz_path in sorted(self.root.glob("*/*.npz")):
             if npz_path not in seen_npz and not npz_path.with_suffix(".json").is_file():

@@ -116,7 +116,12 @@ class PeriodicPowerTemplate:
     voltage_v: float = 1.2
 
     def __post_init__(self) -> None:
-        self.power_w = np.asarray(self.power_w, dtype=np.float64)
+        # Copy (np.array, not np.asarray) so freezing never flips the
+        # writeable flag on a caller's aliased array, then serve the one
+        # period read-only: templates are shared across every synthesized
+        # acquisition and a silent in-place edit would corrupt all of them.
+        self.power_w = np.array(self.power_w, dtype=np.float64)
+        self.power_w.flags.writeable = False
         if self.power_w.ndim != 1 or len(self.power_w) == 0:
             raise ValueError("a periodic template must be a non-empty 1-D array")
         if self.voltage_v <= 0:
@@ -311,6 +316,7 @@ class TraceSynthesizer:
         gates: dict = {}
         if compat_draw_order:
             offsets = np.empty(trials, dtype=np.int64)
+            # repro-lint: allow[HOT001] golden reference path: replays the pre-batching per-trial draw order bit-for-bit
             for row in range(trials):
                 offsets[row] = rng.integers(0, period)
                 if duties is not None and duties[row] < 1.0:
@@ -339,6 +345,7 @@ class TraceSynthesizer:
                 self.base_power_w + self.sequence * amps[0], num_cycles
             )
         raw_windows: Optional[np.ndarray] = None
+        # repro-lint: allow[HOT001] O(trials) window-gather adding one period-indexed row at a time; inner work is vectorized
         for row in range(trials):
             gate = gates.get(row)
             if gate is None and scaled_windows is not None:

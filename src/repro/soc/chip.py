@@ -202,6 +202,7 @@ class ChipModel:
         # tests/test_soc_chip.py).
         repetitions = -(-num_cycles // window)
         shifts = np.empty(repetitions, dtype=np.int64)
+        # repro-lint: allow[HOT001] golden reference path: scalar shift draws pin the pre-vectorised seed stream
         for repetition in range(repetitions):
             shifts[repetition] = rng.integers(0, window)
         index = np.arange(window, dtype=np.int64)[None, :] - shifts[:, None]

@@ -541,12 +541,14 @@ class CortexM0Like:
         """Run for ``num_cycles`` clock cycles and return the activity trace."""
         if num_cycles <= 0:
             raise ValueError("num_cycles must be positive")
+        # repro-lint: allow[HOT001] golden reference path: the cycle-accurate ISS is the ground truth the fast paths window-cache
         records = [self.step_cycle() for _ in range(num_cycles)]
         return ActivityTrace.from_records(self.name, records)
 
     def run_until_halt(self, max_cycles: int = 1_000_000) -> ActivityTrace:
         """Run until the program executes ``halt`` (or ``max_cycles`` elapse)."""
         records = []
+        # repro-lint: allow[HOT001] golden reference path: halt detection needs the cycle-accurate ISS step loop
         for _ in range(max_cycles):
             records.append(self.step_cycle())
             if self.halted:

@@ -1,0 +1,23 @@
+# A deliberately rule-violating fixture.  CI's static-analysis job lints
+# this file and asserts a NONZERO exit so the gate itself is known to be
+# live (a linter that silently passes everything would make the required
+# job meaningless).  Never import this module.
+import random
+import time
+
+import numpy as np
+
+np.random.seed(0)
+
+
+def noisy(n):
+    jitter = random.random()
+    started = time.time()
+    return np.random.normal(0.0, 1.0, n), jitter, started
+
+
+def serve(cache, key):
+    def build():
+        return np.zeros(16)
+
+    return cache.get_or_compute(key, build)
