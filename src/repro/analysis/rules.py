@@ -11,9 +11,9 @@ HOT001     no per-cycle/per-trial Python loops in hot modules unless pragma'd
            as a golden-reference path
 CACHE001   cache-serving compute callables must freeze (``writeable=False``)
            the arrays they hand to a shared cache, and nothing may re-thaw them
-EXC001     ``pipeline/`` must never catch the ``BaseException``-derived
-           control-flow exceptions (``CellTimeout``/``SweepInterrupted``)
-           by accident
+EXC001     ``pipeline/`` and ``service/`` must never catch the
+           ``BaseException``-derived control-flow exceptions
+           (``CellTimeout``/``SweepInterrupted``) by accident
 SCHEMA001  ``ScenarioSpec``/``ScenarioResult``/``Provenance`` field sets must
            match the pinned ``schema_manifest.json``; drift requires a schema
            version bump (and a manifest update) in the same change
@@ -556,9 +556,15 @@ def _reraises(handler: ast.ExceptHandler) -> bool:
     )
 
 
+#: Module-key prefixes EXC001 polices.  ``service/`` request handlers
+#: wrap everything in ``except Exception`` to produce 500 responses --
+#: exactly the construct that would silently eat a sweep interrupt.
+_EXC_PREFIXES = ("pipeline/", "service/")
+
+
 class ExceptionDisciplineRule(Rule):
     rule_id = "EXC001"
-    title = "pipeline/ must not swallow control-flow exceptions"
+    title = "pipeline/ and service/ must not swallow control-flow exceptions"
     rationale = (
         "CellTimeout and SweepInterrupted derive from BaseException "
         "precisely so except Exception cannot eat them; a bare except or "
@@ -569,7 +575,7 @@ class ExceptionDisciplineRule(Rule):
     )
 
     def applies_to(self, module: LintModule) -> bool:
-        return module.module_key.startswith("pipeline/")
+        return module.module_key.startswith(_EXC_PREFIXES)
 
     def check(self, module: LintModule) -> Violations:
         found: Violations = []
@@ -607,8 +613,8 @@ class ExceptionDisciplineRule(Rule):
                     found.append(
                         (
                             handler.lineno,
-                            "broad except Exception in pipeline/ without a "
-                            "re-raise or an explicit sibling "
+                            f"broad except Exception in {module.module_key} "
+                            "without a re-raise or an explicit sibling "
                             "CellTimeout/SweepInterrupted handler; narrow the "
                             "catch or name the control flow",
                         )

@@ -42,6 +42,16 @@ deterministic faults for testing the supervision layer itself::
     python -m repro sweep fig2 --grid-seeds 1 2 3 --timeout 120 \
         --retries 2 --chaos '[{"cell": "fig2[seed=1]", "mode": "kill",
         "attempts": [1]}]'
+
+``serve`` exposes the same scenarios as an HTTP detection service (see
+:mod:`repro.service`): PoW-metered ``/verify``/``/issue`` endpoints,
+HMAC-signed transcripts, an append-only hash-chained operation ledger,
+and the result store as a response cache.  ``serve ledger verify``
+integrity-checks the ledger offline::
+
+    python -m repro serve --port 8731 --data-dir service-data \
+        --difficulty 12 --workers 4
+    python -m repro serve ledger verify --data-dir service-data
 """
 
 from __future__ import annotations
@@ -288,6 +298,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_parser.add_argument("dir", help="the store directory")
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the HTTP detection service (see also: serve ledger verify)",
+    )
+    serve_parser.add_argument(
+        "maintenance",
+        nargs="*",
+        metavar="MAINTENANCE",
+        help="offline maintenance instead of serving: 'ledger verify'",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8731,
+        help="TCP port; 0 binds an ephemeral port (default: 8731)",
+    )
+    serve_parser.add_argument(
+        "--data-dir",
+        default="service-data",
+        metavar="DIR",
+        help=(
+            "service state root: server key, commitment salt, and the "
+            "default store/ledger locations (default: service-data)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--store",
+        dest="store_dir",
+        default=None,
+        metavar="DIR",
+        help="result store (response cache) directory (default: DATA_DIR/store)",
+    )
+    serve_parser.add_argument(
+        "--ledger",
+        dest="ledger_path",
+        default=None,
+        metavar="PATH",
+        help="operation ledger file (default: DATA_DIR/ledger.jsonl)",
+    )
+    serve_parser.add_argument(
+        "--difficulty",
+        type=int,
+        default=12,
+        metavar="BITS",
+        help=(
+            "PoW leading-zero bits a request ticket must show; "
+            "0 disables the gate (default: 12)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="maximum concurrent request-handler threads (default: 4)",
+    )
+
     for name in LEGACY_EXPERIMENTS + ("all",):
         legacy = subparsers.add_parser(
             name,
@@ -517,6 +587,69 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.service.ledger import Ledger
+    from repro.service.server import ServiceConfig, build_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        store_dir=args.store_dir,
+        ledger_path=args.ledger_path,
+        difficulty=args.difficulty,
+        workers=args.workers,
+    )
+    if args.maintenance:
+        if args.maintenance == ["ledger", "verify"]:
+            ledger = Ledger(config.resolved_ledger_path())
+            problems = ledger.verify()
+            for problem in problems:
+                print(f"PROBLEM {problem}")
+            print(
+                f"ledger {ledger.path}: {ledger.count} record(s), "
+                f"{len(problems)} problem(s)"
+            )
+            return 1 if problems else 0
+        parser.error(
+            f"unknown serve maintenance command {' '.join(args.maintenance)!r}; "
+            "supported: 'ledger verify'"
+        )
+
+    import logging
+    import signal
+    import threading
+
+    # INFO so the cache decisions ("store hit" / "computed") land in the
+    # server log -- the CI smoke job greps for them.
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    server = build_server(config)
+
+    def request_shutdown(signum, frame) -> None:
+        # shutdown() joins the serve_forever loop; calling it from the
+        # signal handler's (main) thread would deadlock, so hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, request_shutdown)
+    signal.signal(signal.SIGINT, request_shutdown)
+    print(f"detection service listening on {server.url}", flush=True)
+    print(
+        f"data dir {config.resolved_data_dir()}  "
+        f"store {config.resolved_store_dir()}  "
+        f"ledger {config.resolved_ledger_path()}  "
+        f"difficulty {config.difficulty}  workers {config.workers}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    print("graceful shutdown complete", flush=True)
+    return 0
+
+
 def _cmd_legacy(args: argparse.Namespace) -> int:
     names = LEGACY_EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     options = _run_options(args)
@@ -583,6 +716,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(parser, args)
         if args.experiment == "store":
             return _cmd_store(args)
+        if args.experiment == "serve":
+            return _cmd_serve(parser, args)
         return _cmd_legacy(args)
     except BrokenPipeError:
         # stdout was piped into something like `head` that exited early.

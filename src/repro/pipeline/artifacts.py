@@ -179,6 +179,18 @@ class ScenarioResult:
         return self.error is None
 
     @property
+    def arrays_stripped(self) -> bool:
+        """Whether this result lost its array *data* in transit.
+
+        True for a result rebuilt by :meth:`from_wire` from a wire form
+        whose ``npz`` payload was stripped (service responses do this --
+        spectra can be megabytes) while the JSON side still records array
+        metadata.  Scalars, report and provenance remain bit-exact, so
+        transcripts re-verify; only the numeric arrays are gone.
+        """
+        return not self.arrays and bool(getattr(self, "_stripped_arrays", {}))
+
+    @property
     def artifact_stem(self) -> str:
         """The scenario name sanitized into a single path component.
 
@@ -196,14 +208,23 @@ class ScenarioResult:
             "spec": self.spec.to_json_dict(),
             "provenance": self.provenance.to_json_dict(),
             "scalars": dict(self.scalars),
-            "arrays": {
-                key: {"shape": list(value.shape), "dtype": str(value.dtype)}
-                for key, value in self.arrays.items()
-            },
+            "arrays": self._arrays_metadata(),
             "report": self.report,
             "error": self.error,
             "error_kind": self.error_kind,
         }
+
+    def _arrays_metadata(self) -> Dict[str, Dict[str, Any]]:
+        # An array-stripped result (see arrays_stripped) keeps the
+        # metadata it arrived with, so the wire JSON round-trips exactly
+        # even though the data itself is gone.
+        if self.arrays:
+            return {
+                key: {"shape": list(value.shape), "dtype": str(value.dtype)}
+                for key, value in self.arrays.items()
+            }
+        stripped: Dict[str, Dict[str, Any]] = getattr(self, "_stripped_arrays", {})
+        return {key: dict(meta) for key, meta in stripped.items()}
 
     @classmethod
     def _from_json_dict(
@@ -249,13 +270,26 @@ class ScenarioResult:
 
     @classmethod
     def from_wire(cls, wire: Dict[str, Any]) -> "ScenarioResult":
-        """Rebuild a result from :meth:`to_wire` output (arrays bit-exact)."""
+        """Rebuild a result from :meth:`to_wire` output (arrays bit-exact).
+
+        A wire form whose ``npz`` payload was stripped (``None``) still
+        round-trips: the array metadata from the JSON side is retained,
+        ``to_wire()`` re-emits it unchanged, and :attr:`arrays_stripped`
+        reports the data loss -- so a signed transcript re-verifies from
+        the wire JSON alone, no ``.npz`` required.
+        """
         payload = json.loads(wire["json"])
         arrays: Dict[str, np.ndarray] = {}
         if wire.get("npz"):
             with np.load(io.BytesIO(wire["npz"]), allow_pickle=False) as data:
                 arrays = {key: np.array(data[key]) for key in data.files}
-        return cls._from_json_dict(payload, arrays)
+        result = cls._from_json_dict(payload, arrays)
+        metadata = payload.get("arrays") or {}
+        if metadata and not arrays:
+            result._stripped_arrays = {
+                key: dict(meta) for key, meta in metadata.items()
+            }
+        return result
 
     def save(self, path: PathLike) -> pathlib.Path:
         """Write ``<path>.json`` (+ sibling ``.npz`` when arrays exist).

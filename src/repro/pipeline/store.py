@@ -38,6 +38,7 @@ import json
 import logging
 import os
 import pathlib
+import threading
 import zipfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -150,6 +151,9 @@ class ResultStore:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.salt = salt if salt is not None else code_version_salt()
+        # Counter updates come from concurrent service/sweep threads; the
+        # file operations themselves are already safe (atomic replace).
+        self._stats_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._writes = 0
@@ -203,7 +207,8 @@ class ResultStore:
         try:
             document = json.loads(json_path.read_text())
         except FileNotFoundError:
-            self._misses += 1
+            with self._stats_lock:
+                self._misses += 1
             return None
         except (OSError, json.JSONDecodeError) as error:
             self._note_corrupt(key, f"unreadable entry document ({error})")
@@ -229,12 +234,14 @@ class ResultStore:
         except _REBUILD_ERRORS as error:
             self._note_corrupt(key, f"artifact failed to rebuild ({error})")
             return None
-        self._hits += 1
+        with self._stats_lock:
+            self._hits += 1
         return result
 
     def _note_corrupt(self, key: str, problem: str) -> None:
-        self._corrupt += 1
-        self._misses += 1
+        with self._stats_lock:
+            self._corrupt += 1
+            self._misses += 1
         logger.warning("result store %s: entry %s %s; treating as a miss",
                        self.root, key[:12], problem)
 
@@ -305,7 +312,8 @@ class ResultStore:
             json_path,
             (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8"),
         )
-        self._writes += 1
+        with self._stats_lock:
+            self._writes += 1
         return json_path
 
     @staticmethod
@@ -340,6 +348,9 @@ class ResultStore:
                 continue
             entries += 1
             per_kind[kind] = per_kind.get(kind, 0) + 1
+        with self._stats_lock:
+            hits, misses = self._hits, self._misses
+            writes, corrupt = self._writes, self._corrupt
         return StoreStats(
             root=str(self.root),
             salt=self.salt,
@@ -348,10 +359,10 @@ class ResultStore:
             invalid=invalid,
             total_bytes=total_bytes,
             per_kind=per_kind,
-            hits=self._hits,
-            misses=self._misses,
-            writes=self._writes,
-            corrupt=self._corrupt,
+            hits=hits,
+            misses=misses,
+            writes=writes,
+            corrupt=corrupt,
         )
 
     def verify(self) -> List[str]:

@@ -1,0 +1,64 @@
+"""Detection-as-a-service: the HTTP serving layer over the pipeline.
+
+The pipeline primitives are all typed and serializable -- a frozen
+:class:`repro.core.spec.ScenarioSpec` with a content ``spec_hash()``, a
+:class:`repro.pipeline.artifacts.ScenarioResult` with ``to_wire()``, a
+content-addressed :class:`repro.pipeline.store.ResultStore` and a
+supervised :class:`repro.pipeline.runner.ExperimentRunner` -- but until
+this package nothing answered a network request.  ``repro.service`` is
+that serving layer, stdlib-only (``http.server``, no framework):
+
+* :mod:`repro.service.protocol` -- versioned request/response schemas, the
+  hashcash proof-of-work ticket check and a per-client token bucket;
+* :mod:`repro.service.transcripts` -- HMAC-SHA256 signed detection
+  transcripts over canonical JSON, with server key/salt management;
+* :mod:`repro.service.ledger` -- an append-only, hash-chained JSONL
+  ledger whose ``verify()`` detects tamper and truncation;
+* :mod:`repro.service.server` -- the threaded HTTP server: ``/verify``
+  (execute or cache-serve a detection scenario), ``/issue`` (embed a
+  watermark config, log a seed commitment), ``/healthz`` and
+  ``/metrics``;
+* :mod:`repro.service.client` -- a small stdlib client (ticket mining,
+  request posting, offline signature checks) used by tests, examples and
+  CI.
+
+Run it with ``python -m repro serve --port 8731 --data-dir service-data``.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.ledger import Ledger, LedgerAnchor
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ServiceError,
+    TokenBucket,
+    check_ticket,
+    mine_nonce,
+)
+from repro.service.server import DetectionService, ServiceConfig, build_server
+from repro.service.transcripts import (
+    load_or_create_secret,
+    seed_commitment,
+    sign_transcript,
+    verify_signature,
+)
+
+__all__ = [
+    "DetectionService",
+    "Ledger",
+    "LedgerAnchor",
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHTTPError",
+    "TokenBucket",
+    "build_server",
+    "check_ticket",
+    "load_or_create_secret",
+    "mine_nonce",
+    "seed_commitment",
+    "sign_transcript",
+    "verify_signature",
+]

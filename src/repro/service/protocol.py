@@ -1,0 +1,345 @@
+"""Service protocol: schemas, hashcash PoW tickets, per-client metering.
+
+The request/response formats are versioned alongside the pipeline's wire
+schemas: every response (and every signed transcript) embeds
+``{"spec": SPEC_SCHEMA_VERSION, "artifact": ARTIFACT_SCHEMA_VERSION,
+"protocol": PROTOCOL_VERSION}`` so a client can detect a server whose
+serialization it no longer understands.
+
+Proof-of-work ticket (hashcash style, the POV-PVW recipe)
+---------------------------------------------------------
+
+A request body carries a ``nonce``; the server accepts it only when::
+
+    sha256(client_id | endpoint | body_hash | nonce)
+
+has at least ``difficulty`` leading zero *bits*, where ``body_hash`` is
+the hex sha256 of the canonical JSON body **excluding** the ``nonce`` and
+``difficulty`` fields.  Mining is a deterministic counter search
+(:func:`mine_nonce`) -- no randomness, so tests and CI replay exactly.
+
+On top of the PoW gate, :class:`TokenBucket` meters request *rate* per
+``client_id``: the PoW makes each request cost CPU, the bucket bounds
+sustained throughput per client regardless of how much CPU they own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.spec import SPEC_SCHEMA_VERSION
+from repro.pipeline.artifacts import ARTIFACT_SCHEMA_VERSION
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ISSUE_ENDPOINT",
+    "VERIFY_ENDPOINT",
+    "ServiceError",
+    "TokenBucket",
+    "body_hash",
+    "canonical_json",
+    "check_ticket",
+    "leading_zero_bits",
+    "mine_nonce",
+    "schema_versions",
+    "ticket_digest",
+    "validate_request",
+]
+
+#: Version of the service request/response wire formats.  Bump together
+#: with any change to the request schema, the response envelope or the
+#: signed transcript shape.
+PROTOCOL_VERSION = 1
+
+VERIFY_ENDPOINT = "/verify"
+ISSUE_ENDPOINT = "/issue"
+
+#: Fields excluded from the PoW body hash (they parameterize the ticket
+#: itself, so including them would make the preimage self-referential).
+_TICKET_FREE_FIELDS = ("nonce", "difficulty")
+
+#: Request fields every POST endpoint understands.
+_KNOWN_REQUEST_FIELDS = {
+    "protocol_version",
+    "client_id",
+    "scenario",
+    "spec",
+    "overrides",
+    "nonce",
+    "difficulty",
+}
+
+#: Override keys ``/verify`` and ``/issue`` accept on top of a resolved
+#: scenario.  ``quick``/``cycles``/``repetitions``/``seed`` mirror the
+#: CLI's :class:`repro.pipeline.registry.RunOptions`; the rest map to the
+#: spec's grid-axis helpers.
+ALLOWED_OVERRIDES = (
+    "quick",
+    "cycles",
+    "repetitions",
+    "seed",
+    "chip",
+    "noise_scale",
+    "watermark_active",
+)
+
+#: ``client_id`` must stay out of the ticket delimiter alphabet and out of
+#: filesystem/log trouble: letters, digits, ``._@-``, 1..64 chars.
+_CLIENT_ID_MAX = 64
+_CLIENT_ID_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._@-"
+)
+
+
+class ServiceError(Exception):
+    """A structured, client-visible service failure.
+
+    Carries the HTTP ``status`` and a stable machine-readable ``code``
+    (``bad_request``, ``bad_ticket``, ``rate_limited``, ...) next to the
+    human-readable message; the server renders it as
+    ``{"error": {"code": ..., "message": ...}}``.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The response body the server sends for this error."""
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical JSON text: sorted keys, no whitespace.
+
+    Everything content-addressed or signed in the service (PoW body
+    hashes, ledger record digests, transcript signatures) hashes this
+    form, so two processes always agree byte-for-byte.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def schema_versions() -> Dict[str, int]:
+    """The schema-version stamp embedded in responses and transcripts."""
+    return {
+        "spec": SPEC_SCHEMA_VERSION,
+        "artifact": ARTIFACT_SCHEMA_VERSION,
+        "protocol": PROTOCOL_VERSION,
+    }
+
+
+# -- proof-of-work tickets -------------------------------------------------------
+
+
+def body_hash(body: Mapping[str, Any]) -> str:
+    """Hex sha256 of the canonical body, excluding ``nonce``/``difficulty``."""
+    filtered = {
+        key: value
+        for key, value in body.items()
+        if key not in _TICKET_FREE_FIELDS
+    }
+    return hashlib.sha256(canonical_json(filtered).encode("utf-8")).hexdigest()
+
+
+def ticket_digest(
+    client_id: str, endpoint: str, body_hash_hex: str, nonce: Union[int, str]
+) -> str:
+    """The hashcash digest a ticket is judged by."""
+    preimage = f"{client_id}|{endpoint}|{body_hash_hex}|{nonce}"
+    return hashlib.sha256(preimage.encode("utf-8")).hexdigest()
+
+
+def leading_zero_bits(hex_digest: str) -> int:
+    """Leading zero bits of a hex digest (the hashcash difficulty measure)."""
+    bits = 0
+    for char in hex_digest:
+        nibble = int(char, 16)
+        if nibble == 0:
+            bits += 4
+            continue
+        bits += 4 - nibble.bit_length()
+        break
+    return bits
+
+
+def check_ticket(
+    client_id: str,
+    endpoint: str,
+    body: Mapping[str, Any],
+    difficulty: int,
+) -> str:
+    """Validate the PoW ticket carried by ``body``; returns its digest.
+
+    Raises :class:`ServiceError` (403, ``bad_ticket``) on a missing nonce
+    or insufficient work.  ``difficulty <= 0`` disables the check but
+    still returns the digest (the ledger records it either way).
+    """
+    nonce = body.get("nonce")
+    if difficulty > 0 and nonce is None:
+        raise ServiceError(
+            403,
+            "bad_ticket",
+            f"missing PoW nonce; mine sha256(client_id|{endpoint}|body_hash|"
+            f"nonce) to at least {difficulty} leading zero bits",
+        )
+    if not isinstance(nonce, (int, str)) and nonce is not None:
+        raise ServiceError(403, "bad_ticket", "nonce must be an integer or string")
+    digest = ticket_digest(client_id, endpoint, body_hash(body), nonce or 0)
+    if difficulty > 0 and leading_zero_bits(digest) < difficulty:
+        raise ServiceError(
+            403,
+            "bad_ticket",
+            f"insufficient proof of work: digest {digest[:16]}... has "
+            f"{leading_zero_bits(digest)} leading zero bit(s), "
+            f"difficulty requires {difficulty}",
+        )
+    return digest
+
+
+def mine_nonce(
+    client_id: str,
+    endpoint: str,
+    body: Mapping[str, Any],
+    difficulty: int,
+    max_iterations: int = 50_000_000,
+) -> int:
+    """Find the smallest nonce satisfying ``difficulty`` (deterministic).
+
+    A counter search from zero: no randomness, so the same request body
+    always mines the same ticket -- replayable in tests and CI.  Raises
+    :class:`RuntimeError` past ``max_iterations`` (a difficulty so high
+    the caller almost certainly misconfigured it).
+    """
+    if difficulty <= 0:
+        return 0
+    digest_of = hashlib.sha256
+    prefix = f"{client_id}|{endpoint}|{body_hash(body)}|"
+    for nonce in range(max_iterations):
+        digest = digest_of(f"{prefix}{nonce}".encode("utf-8")).hexdigest()
+        if leading_zero_bits(digest) >= difficulty:
+            return nonce
+    raise RuntimeError(
+        f"no nonce below {max_iterations} satisfies difficulty {difficulty}"
+    )
+
+
+# -- request validation ----------------------------------------------------------
+
+
+def validate_request(payload: Any, endpoint: str) -> Dict[str, Any]:
+    """Validate a POST body against the protocol schema; returns it typed.
+
+    Raises :class:`ServiceError` (400) on shape problems and (426,
+    ``unsupported_protocol``) when the client speaks another protocol
+    version.  The PoW ticket and rate metering are checked separately --
+    schema first, so a rejected request never burns a ticket.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError(400, "bad_request", "request body must be a JSON object")
+    version = payload.get("protocol_version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            426,
+            "unsupported_protocol",
+            f"protocol version {version!r} is not supported; "
+            f"this server speaks version {PROTOCOL_VERSION}",
+        )
+    unknown = set(payload) - _KNOWN_REQUEST_FIELDS
+    if unknown:
+        raise ServiceError(
+            400, "bad_request", f"unknown request fields: {sorted(unknown)}"
+        )
+    client_id = payload.get("client_id")
+    if not isinstance(client_id, str) or not client_id:
+        raise ServiceError(
+            400, "bad_request", "client_id is required and must be a non-empty string"
+        )
+    if len(client_id) > _CLIENT_ID_MAX or not set(client_id) <= _CLIENT_ID_CHARS:
+        raise ServiceError(
+            400,
+            "bad_request",
+            f"client_id must be 1..{_CLIENT_ID_MAX} characters from "
+            "[A-Za-z0-9._@-]",
+        )
+    scenario = payload.get("scenario")
+    spec = payload.get("spec")
+    if (scenario is None) == (spec is None):
+        raise ServiceError(
+            400,
+            "bad_request",
+            "exactly one of 'scenario' (registry name) or 'spec' "
+            "(full spec document) is required",
+        )
+    if scenario is not None and not isinstance(scenario, str):
+        raise ServiceError(400, "bad_request", "scenario must be a string")
+    if spec is not None and not isinstance(spec, dict):
+        raise ServiceError(400, "bad_request", "spec must be a JSON object")
+    overrides = payload.get("overrides")
+    if overrides is not None:
+        if not isinstance(overrides, dict):
+            raise ServiceError(400, "bad_request", "overrides must be a JSON object")
+        bad = set(overrides) - set(ALLOWED_OVERRIDES)
+        if bad:
+            raise ServiceError(
+                400,
+                "bad_request",
+                f"unknown override(s) {sorted(bad)}; "
+                f"allowed: {sorted(ALLOWED_OVERRIDES)}",
+            )
+    return payload
+
+
+# -- per-client rate metering ----------------------------------------------------
+
+
+class TokenBucket:
+    """Per-client token buckets: ``capacity`` burst, ``refill_per_s`` rate.
+
+    Thread-safe; the clock is injectable (monotonic seconds) so tests
+    drive refill deterministically.  A client absent from the table
+    starts with a full bucket.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("bucket capacity must be positive")
+        if refill_per_s < 0:
+            raise ValueError("refill rate must be non-negative")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock if clock is not None else time.monotonic
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._lock = threading.Lock()
+
+    def consume(self, client_id: str, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` from ``client_id``'s bucket; ``False`` when dry."""
+        now = self._clock()
+        with self._lock:
+            level, last = self._buckets.get(client_id, (self.capacity, now))
+            level = min(self.capacity, level + (now - last) * self.refill_per_s)
+            if level < tokens:
+                self._buckets[client_id] = (level, now)
+                return False
+            self._buckets[client_id] = (level - tokens, now)
+            return True
+
+    def check(self, client_id: str) -> None:
+        """Raise :class:`ServiceError` (429) when the client's bucket is dry."""
+        if not self.consume(client_id):
+            raise ServiceError(
+                429,
+                "rate_limited",
+                f"client {client_id!r} exceeded its request budget "
+                f"({self.capacity:.0f} burst, {self.refill_per_s:g}/s refill)",
+            )

@@ -465,6 +465,33 @@ class TestEXC001:
         )
         assert findings == []
 
+    def test_service_request_handlers_are_in_scope(self):
+        source = snippet(
+            """
+            def handle():
+                try:
+                    dispatch()
+                except Exception:
+                    respond_500()
+            """
+        )
+        findings = lint_source(source, "src/repro/service/server.py")
+        assert rule_ids(findings) == ["EXC001"]
+        # The sanctioned handler shape: supervision control flow is
+        # re-raised by an explicit sibling before the broad catch.
+        safe = snippet(
+            """
+            def handle():
+                try:
+                    dispatch()
+                except (CellTimeout, SweepInterrupted):
+                    raise
+                except Exception:
+                    respond_500()
+            """
+        )
+        assert lint_source(safe, "src/repro/service/server.py") == []
+
 
 # -- SCHEMA001 -------------------------------------------------------------------
 
