@@ -1,0 +1,188 @@
+"""Incremental lint result cache: warm runs skip unchanged files.
+
+The project pass split the work cleanly: the expensive per-file half
+(parse, per-module rules, pragma table, :class:`ModuleSummary`
+extraction) depends only on that file's bytes and the rule set, while
+the cross-module half (project rules, DEAD001, baseline) is cheap pure
+Python over the summaries.  So the cache persists exactly the per-file
+half -- one JSON entry per source file -- and the engine re-runs the
+cross-module half every time.
+
+Validation is two-tier, like any honest build cache:
+
+* fast path: ``st_mtime_ns`` + ``st_size`` equal to the recorded stat --
+  trust the entry without reading the file;
+* slow path: stat drifted (checkout, ``touch``) -- hash the content;
+  a matching sha256 is still a hit (the entry's stat is refreshed).
+
+Entries also record a *rules signature* (sorted active rule ids + the
+extraction-format version): linting with a different rule set, or after
+a summary-format change, misses rather than serving stale results.
+Writes go through the same atomic tmp-file + ``os.replace`` pattern as
+``pipeline.store.ResultStore`` -- a crashed run never leaves a torn
+entry for the next one to read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.engine import Finding, ModuleRecord, Rule
+
+__all__ = ["LintCache", "rules_signature"]
+
+#: Bump when the ModuleSummary/ModuleRecord serialization changes shape;
+#: every existing cache entry misses after a bump.
+CACHE_FORMAT_VERSION = 1
+
+
+def rules_signature(rules: Sequence[Rule]) -> str:
+    """A short digest of the active rule set + cache format version."""
+    payload = json.dumps(
+        {
+            "format": CACHE_FORMAT_VERSION,
+            "rules": sorted(rule.rule_id for rule in rules),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class LintCache:
+    """One directory of per-file lint entries (see the module docstring)."""
+
+    def __init__(self, cache_dir: Path, signature: str) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.signature = signature
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # - entry location -
+
+    def _entry_path(self, path: Path) -> Path:
+        digest = hashlib.sha256(str(path.resolve()).encode()).hexdigest()[:32]
+        return self.cache_dir / f"{digest}.json"
+
+    @staticmethod
+    def _stat_of(path: Path) -> Optional[Tuple[int, int]]:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return stat.st_mtime_ns, stat.st_size
+
+    @staticmethod
+    def _content_hash(path: Path) -> Optional[str]:
+        try:
+            return hashlib.sha256(path.read_bytes()).hexdigest()
+        except OSError:
+            return None
+
+    # - lookup / store -
+
+    def lookup(self, path: Path) -> Optional[ModuleRecord]:
+        """The cached :class:`ModuleRecord` for ``path``, or ``None``."""
+        entry_path = self._entry_path(path)
+        try:
+            entry = json.loads(entry_path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("signature") != self.signature:
+            self.misses += 1
+            return None
+        current = self._stat_of(path)
+        if current is None:
+            self.misses += 1
+            return None
+        recorded = (entry.get("mtime_ns"), entry.get("size"))
+        if recorded != current:
+            # stat drifted; the content decides
+            content = self._content_hash(path)
+            if content is None or content != entry.get("sha256"):
+                self.misses += 1
+                return None
+            entry["mtime_ns"], entry["size"] = current
+            self._atomic_write(entry_path, entry)
+        self.hits += 1
+        return self._decode(entry)
+
+    def store(self, path: Path, record: ModuleRecord) -> None:
+        """Persist the module pass result for ``path`` atomically."""
+        current = self._stat_of(path)
+        content = self._content_hash(path)
+        if current is None or content is None:
+            return  # fixture-only module with no backing file: nothing to cache
+        entry = {
+            "signature": self.signature,
+            "mtime_ns": current[0],
+            "size": current[1],
+            "sha256": content,
+            "record": self._encode(record),
+        }
+        self._atomic_write(self._entry_path(path), entry)
+
+    # - serialization -
+
+    @staticmethod
+    def _encode(record: ModuleRecord) -> Dict[str, object]:
+        summary = record.summary
+        if summary is not None and not isinstance(summary, dict):
+            summary = summary.to_json_dict()  # type: ignore[attr-defined]
+        return {
+            "logical_path": record.logical_path,
+            "findings": [finding.to_json_dict() for finding in record.findings],
+            "pragmas": [
+                [line, rule_id, reason]
+                for (line, rule_id), reason in sorted(record.pragmas.items())
+            ],
+            "summary": summary,
+        }
+
+    @staticmethod
+    def _decode(entry: Dict[str, object]) -> Optional[ModuleRecord]:
+        raw = entry.get("record")
+        if not isinstance(raw, dict):
+            return None
+        try:
+            findings = [
+                Finding.from_json_dict(item) for item in raw["findings"]  # type: ignore[union-attr,index]
+            ]
+            pragmas = {
+                (int(line), str(rule_id)): str(reason)
+                for line, rule_id, reason in raw["pragmas"]  # type: ignore[union-attr,index]
+            }
+            summary = raw.get("summary")
+        except (KeyError, TypeError, ValueError):
+            return None
+        return ModuleRecord(
+            logical_path=str(raw["logical_path"]),
+            findings=findings,
+            pragmas=pragmas,
+            summary=summary if isinstance(summary, dict) else None,
+        )
+
+    # - atomic write (the ResultStore pattern) -
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: Dict[str, object]) -> None:
+        data = json.dumps(payload, sort_keys=True).encode()
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

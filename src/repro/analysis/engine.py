@@ -43,11 +43,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 __all__ = [
     "Finding",
     "LintModule",
+    "ModuleRecord",
     "Rule",
     "collect_pragmas",
     "lint_module",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "render_json",
     "render_text",
 ]
@@ -72,6 +74,9 @@ class Finding:
     message: str
     suppressed: bool = False
     suppression_reason: Optional[str] = None
+    #: True when the suppression came from the committed baseline file
+    #: rather than an in-source pragma.
+    baselined: bool = False
 
     def to_json_dict(self) -> Dict[str, object]:
         """JSON-able representation (the ``--format=json`` entry shape)."""
@@ -82,7 +87,25 @@ class Finding:
             "message": self.message,
             "suppressed": self.suppressed,
             "suppression_reason": self.suppression_reason,
+            "baselined": self.baselined,
         }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_json_dict` (the cache deserializer)."""
+        return cls(
+            rule_id=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            suppressed=bool(data["suppressed"]),
+            suppression_reason=(
+                None
+                if data.get("suppression_reason") is None
+                else str(data["suppression_reason"])
+            ),
+            baselined=bool(data.get("baselined", False)),
+        )
 
 
 @dataclasses.dataclass
@@ -221,15 +244,7 @@ def lint_module(
 ) -> List[Finding]:
     """Run every rule over one parsed module."""
     active = list(rules) if rules is not None else list(_default_rules())
-    # Pragmas naming any *registered* rule stay valid when linting with a
-    # subset (--rules SCHEMA001 must not misread a DET001 pragma as
-    # unknown); only genuinely unregistered ids are LINT001 findings.
-    known_ids = (
-        {rule.rule_id for rule in active}
-        | {rule.rule_id for rule in _default_rules()}
-        | {META_RULE_ID}
-    )
-    pragmas, meta_findings = collect_pragmas(module.source, known_ids)
+    pragmas, meta_findings = collect_pragmas(module.source, _known_ids(active))
     findings = [
         dataclasses.replace(finding, path=module.logical_path)
         for finding in meta_findings
@@ -252,24 +267,163 @@ def lint_module(
     return sorted(findings, key=lambda f: (f.line, f.rule_id, f.message))
 
 
+@dataclasses.dataclass
+class ModuleRecord:
+    """The per-module result of the module pass (what the cache persists).
+
+    ``summary`` is the serializable project digest
+    (:class:`repro.analysis.project.ModuleSummary`), ``None`` when the
+    file did not parse.
+    """
+
+    logical_path: str
+    findings: List[Finding]
+    pragmas: Dict[Tuple[int, str], str]
+    summary: Optional[object]
+
+
+def _known_ids(active: Sequence[Rule]) -> set:
+    # Pragmas naming any *registered* rule stay valid when linting with a
+    # subset (--rules SCHEMA001 must not misread a DET001 pragma as
+    # unknown); only genuinely unregistered ids are LINT001 findings.
+    return (
+        {rule.rule_id for rule in active}
+        | {rule.rule_id for rule in _default_rules()}
+        | {META_RULE_ID}
+    )
+
+
+def _module_pass(
+    source: str,
+    logical_path: str,
+    active: Sequence[Rule],
+    known_ids: Iterable[str],
+) -> ModuleRecord:
+    """Parse + per-module rules + pragma table + project digest for one file."""
+    from repro.analysis.project import summarize_module
+
+    try:
+        module = LintModule.from_source(source, logical_path)
+    except SyntaxError as error:
+        finding = Finding(
+            rule_id=META_RULE_ID,
+            path=logical_path,
+            line=error.lineno or 1,
+            message=f"file does not parse: {error.msg}",
+        )
+        return ModuleRecord(logical_path, [finding], {}, None)
+    pragmas, meta_findings = collect_pragmas(module.source, known_ids)
+    findings = [
+        dataclasses.replace(finding, path=logical_path)
+        for finding in meta_findings
+    ]
+    for rule in active:
+        if not rule.applies_to(module):
+            continue
+        for line, message in rule.check(module):
+            reason = pragmas.get((line, rule.rule_id))
+            findings.append(
+                Finding(
+                    rule_id=rule.rule_id,
+                    path=logical_path,
+                    line=line,
+                    message=message,
+                    suppressed=reason is not None,
+                    suppression_reason=reason,
+                )
+            )
+    return ModuleRecord(logical_path, findings, pragmas, summarize_module(module))
+
+
+def _finish_project(
+    records: Sequence[ModuleRecord], active: Sequence[Rule]
+) -> List[Finding]:
+    """Project rules + the DEAD001 stale-pragma audit over all records."""
+    from repro.analysis.project import LintProject, ModuleSummary, ProjectRule
+    from repro.analysis.rules_concurrency import StalePragmaRule
+
+    per_path: Dict[str, List[Finding]] = {
+        record.logical_path: list(record.findings) for record in records
+    }
+    by_path = {record.logical_path: record for record in records}
+
+    project_rules = [rule for rule in active if isinstance(rule, ProjectRule)]
+    if project_rules:
+        summaries = []
+        for record in records:
+            if record.summary is None:
+                continue
+            summary = record.summary
+            if isinstance(summary, dict):  # cache round-trip
+                summary = ModuleSummary.from_json_dict(summary)
+            summaries.append(summary)
+        project = LintProject(summaries)
+        for rule in project_rules:
+            for path, line, message in rule.check_project(project):
+                record = by_path.get(path)
+                reason = (
+                    record.pragmas.get((line, rule.rule_id))
+                    if record is not None
+                    else None
+                )
+                per_path.setdefault(path, []).append(
+                    Finding(
+                        rule_id=rule.rule_id,
+                        path=path,
+                        line=line,
+                        message=message,
+                        suppressed=reason is not None,
+                        suppression_reason=reason,
+                    )
+                )
+
+    active_ids = {rule.rule_id for rule in active}
+    for audit_rule in (r for r in active if isinstance(r, StalePragmaRule)):
+        for record in records:
+            module_findings = per_path.get(record.logical_path, [])
+            for line, message in audit_rule.audit(
+                record.pragmas, module_findings, active_ids
+            ):
+                reason = record.pragmas.get((line, audit_rule.rule_id))
+                module_findings.append(
+                    Finding(
+                        rule_id=audit_rule.rule_id,
+                        path=record.logical_path,
+                        line=line,
+                        message=message,
+                        suppressed=reason is not None,
+                        suppression_reason=reason,
+                    )
+                )
+
+    findings = [finding for path in sorted(per_path) for finding in per_path[path]]
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule_id, f.message))
+
+
+def lint_sources(
+    sources: Dict[str, str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint several sources as one project (the multi-module fixture API).
+
+    ``sources`` maps logical path -> source text; project rules see all
+    of them through one shared :class:`~repro.analysis.project.LintProject`.
+    """
+    active = list(rules) if rules is not None else list(_default_rules())
+    known = _known_ids(active)
+    records = [
+        _module_pass(source, logical_path, active, known)
+        for logical_path, source in sources.items()
+    ]
+    return _finish_project(records, active)
+
+
 def lint_source(
     source: str,
     logical_path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
     """Lint one source string (the fixture entry point used by the tests)."""
-    try:
-        module = LintModule.from_source(source, logical_path)
-    except SyntaxError as error:
-        return [
-            Finding(
-                rule_id=META_RULE_ID,
-                path=logical_path,
-                line=error.lineno or 1,
-                message=f"file does not parse: {error.msg}",
-            )
-        ]
-    return lint_module(module, rules)
+    return lint_sources({logical_path: source}, rules)
 
 
 def iter_python_files(paths: Iterable[str]) -> List[Path]:
@@ -289,19 +443,34 @@ def iter_python_files(paths: Iterable[str]) -> List[Path]:
 
 
 def lint_paths(
-    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+    cache: Optional[object] = None,
 ) -> Tuple[List[Finding], int]:
     """Lint every Python file under ``paths``.
 
     Returns ``(findings, files_checked)``.  A missing path raises
     :class:`FileNotFoundError` (a CI job must not silently lint nothing);
     an unparseable file becomes a ``LINT001`` finding.
+
+    ``cache`` is an optional :class:`repro.analysis.cache.LintCache`: hits
+    skip the parse + per-module rule pass for unchanged files entirely
+    (project rules always re-run, over the cached summaries).
     """
-    findings: List[Finding] = []
+    active = list(rules) if rules is not None else list(_default_rules())
+    known = _known_ids(active)
     files = iter_python_files(paths)
+    records: List[ModuleRecord] = []
     for path in files:
-        findings.extend(lint_source(path.read_text(), str(path), rules))
-    return findings, len(files)
+        record: Optional[ModuleRecord] = None
+        if cache is not None:
+            record = cache.lookup(path)  # type: ignore[attr-defined]
+        if record is None:
+            record = _module_pass(path.read_text(), str(path), active, known)
+            if cache is not None:
+                cache.store(path, record)  # type: ignore[attr-defined]
+        records.append(record)
+    return _finish_project(records, active), len(files)
 
 
 # -- reporters -------------------------------------------------------------------
@@ -347,7 +516,7 @@ def render_json(
     violations = unsuppressed(findings)
     payload = {
         "tool": "repro-lint",
-        "report_version": 1,
+        "report_version": 2,
         "summary": {
             "files": files_checked,
             "violations": len(violations),

@@ -827,6 +827,14 @@ class FrozenConfigRule(Rule):
 
 # -- registry --------------------------------------------------------------------
 
+from repro.analysis.rules_concurrency import (  # noqa: E402  (registry import)
+    ForkAfterThreadRule,
+    LockDisciplineRule,
+    SeedStreamCollisionRule,
+    SharedCacheRule,
+    StalePragmaRule,
+)
+
 ALL_RULES: Tuple[Rule, ...] = (
     GlobalRandomnessRule(),
     DeterminismRule(),
@@ -835,6 +843,11 @@ ALL_RULES: Tuple[Rule, ...] = (
     ExceptionDisciplineRule(),
     SchemaManifestRule(),
     FrozenConfigRule(),
+    LockDisciplineRule(),
+    ForkAfterThreadRule(),
+    SharedCacheRule(),
+    SeedStreamCollisionRule(),
+    StalePragmaRule(),
 )
 
 RULE_INDEX: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -82,12 +82,14 @@ class Ledger:
     @property
     def count(self) -> int:
         """Records appended so far (as recovered at open plus this session)."""
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def tip_digest(self) -> str:
         """Digest of the newest record (:data:`GENESIS_DIGEST` when empty)."""
-        return self._tip
+        with self._lock:
+            return self._tip
 
     def _scan_tip(self) -> "tuple[int, str]":
         count, tip = 0, GENESIS_DIGEST

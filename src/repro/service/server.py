@@ -39,6 +39,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.caching import LRUCache
 from repro.core.spec import ScenarioSpec
 from repro.pipeline.artifacts import ScenarioResult, current_commit
 from repro.pipeline.faults import CellTimeout, SweepInterrupted
@@ -79,6 +80,11 @@ logger = logging.getLogger(__name__)
 
 #: Routes answering GET (anything else on them is 405, not 404).
 _GET_ROUTES = ("/healthz", "/metrics")
+
+#: Bound on the per-spec-hash coalescing lock table.  Far above the
+#: worker-slot count, so concurrent distinct specs never contend for
+#: table space; far below "one lock per spec ever seen".
+_INFLIGHT_LOCKS = 256
 _POST_ROUTES = (VERIFY_ENDPOINT, ISSUE_ENDPOINT)
 
 
@@ -219,9 +225,12 @@ class DetectionService:
         self._bucket = TokenBucket(config.rate_capacity, config.rate_refill_per_s)
         # Concurrent /verify of the same spec coalesce on a per-hash lock;
         # actual execution is additionally serialized because the runner's
-        # chip caches are shared mutable state.
-        self._inflight: Dict[str, threading.Lock] = {}
-        self._inflight_guard = threading.Lock()
+        # chip caches are shared mutable state.  The lock table is a
+        # bounded LRUCache, not a dict: a long-lived server sees millions
+        # of distinct specs and must not grow a lock per hash forever.
+        # Evicting a lock mid-wait is safe -- the loser of the split
+        # computes redundantly and the store write stays first-wins.
+        self._inflight: LRUCache = LRUCache(max_entries=_INFLIGHT_LOCKS)
         self._compute_lock = threading.Lock()
 
     @property
@@ -276,11 +285,8 @@ class DetectionService:
     # -- execution with store coalescing ---------------------------------------
 
     def _inflight_lock(self, key: str) -> threading.Lock:
-        with self._inflight_guard:
-            lock = self._inflight.get(key)
-            if lock is None:
-                lock = self._inflight[key] = threading.Lock()
-            return lock
+        # repro-lint: allow[CACHE001] caches Lock objects, not arrays
+        return self._inflight.get_or_compute(key, threading.Lock)
 
     def _execute(self, spec: ScenarioSpec) -> Tuple[ScenarioResult, bool]:
         """Run ``spec`` through the store; returns (result, cache_hit)."""

@@ -1,0 +1,13 @@
+# Seeded CONC002: this module starts threads, then fork()s outside the
+# sanctioned supervisor (pipeline/backends.py).  CI asserts the linter
+# flags this.
+import os
+import threading
+
+
+def serve():
+    threading.Thread(target=work).start()
+
+
+def work():
+    os.fork()

@@ -1,0 +1,12 @@
+# Seeded RNG002: two default_rng sites with syntactically identical seed
+# expressions, both reachable from the sweep-cell roots (this file *is*
+# pipeline/stages.py to the engine).  CI asserts the linter flags this.
+from numpy.random import default_rng
+
+
+def draw_signal(seed):
+    return default_rng(seed).normal()
+
+
+def draw_noise(seed):
+    return default_rng(seed).normal()

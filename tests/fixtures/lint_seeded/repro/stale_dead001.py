@@ -1,0 +1,6 @@
+# Seeded DEAD001: the pragma below excuses a DET001 violation that no
+# longer exists on the target line.  CI lints with --rules DET001,DEAD001
+# and asserts the linter flags the stale pragma.
+
+# repro-lint: allow[DET001] the time.time() call this excused is gone
+VALUE = 1

@@ -743,27 +743,63 @@ class TestReporting:
 
 
 class TestSrcTreeSelfCheck:
-    def test_src_has_zero_unsuppressed_violations(self):
+    @staticmethod
+    def _gated_findings():
+        """The tree's findings as the CI gate sees them: baseline applied."""
+        from repro.analysis.baseline import apply_baseline, default_baseline_path
+        from repro.analysis.engine import iter_python_files
+
         findings, files_checked = lint_paths([str(SRC)])
+        linted = [str(path) for path in iter_python_files([str(SRC)])]
+        findings = apply_baseline(
+            findings, default_baseline_path(), linted_paths=linted
+        )
+        return findings, files_checked
+
+    def test_src_has_zero_unsuppressed_violations(self):
+        findings, files_checked = self._gated_findings()
         assert files_checked > 50  # the whole tree, not a subset
         problems = unsuppressed(findings)
         assert problems == [], render_text(findings, files_checked)
 
     def test_every_suppression_carries_a_reason(self):
-        findings, _ = lint_paths([str(SRC)])
+        findings, _ = self._gated_findings()
         suppressed = [f for f in findings if f.suppressed]
         assert suppressed, "expected the documented pragma sites to exist"
         for finding in suppressed:
             assert finding.suppression_reason, finding
 
+    def test_baseline_entries_are_all_justified_rng002(self):
+        # The committed baseline exists to absorb the pinned seed-stream
+        # findings, nothing else: every entry is RNG002 with a reason.
+        from repro.analysis.baseline import default_baseline_path, load_baseline
+
+        entries, problems = load_baseline(default_baseline_path())
+        assert problems == []
+        assert entries, "expected the committed RNG002 baseline"
+        for entry in entries:
+            assert entry["rule"] == "RNG002"
+            assert str(entry["justification"]).strip()
+
+    def test_src_concurrency_rules_are_live_on_the_tree(self):
+        # Without the baseline the pinned RNG002 collisions must surface:
+        # proof the project pass actually runs over src/, not a no-op.
+        findings, _ = lint_paths([str(SRC)])
+        assert "RNG002" in {f.rule_id for f in unsuppressed(findings)}
+
     def test_rule_inventory_is_complete(self):
         assert sorted(RULE_INDEX) == [
             "CACHE001",
+            "CONC001",
+            "CONC002",
+            "CONC003",
+            "DEAD001",
             "DET001",
             "EXC001",
             "FROZEN001",
             "HOT001",
             "RNG001",
+            "RNG002",
             "SCHEMA001",
         ]
         for rule in ALL_RULES:

@@ -1,0 +1,142 @@
+"""Threaded stress tests pinning this PR's concurrency fixes.
+
+repro-lint's CONC001/CONC003 rules surfaced two real races in the
+service layer; each fix gets a targeted stress test so a regression
+fails loudly rather than flaking once a month:
+
+* ``Ledger.count``/``tip_digest`` read ``_count``/``_tip`` off-lock
+  (CONC001) -- now locked property reads, hammered here against
+  concurrent appends;
+* ``DetectionService._inflight`` was an unbounded bare dict guarded by
+  a second lock (CONC003) -- now a bounded ``caching.LRUCache``,
+  hammered here for coalescing and boundedness.
+"""
+
+import threading
+
+import pytest
+
+from repro.service.ledger import Ledger
+from repro.service.server import _INFLIGHT_LOCKS, DetectionService, ServiceConfig
+
+
+def _run_threads(workers):
+    barrier = threading.Barrier(len(workers))
+    errors = []
+
+    def wrap(fn):
+        def run():
+            try:
+                barrier.wait()
+                fn()
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        return run
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+
+class TestLedgerLockDiscipline:
+    N_WRITERS = 4
+    APPENDS_EACH = 25
+
+    def test_concurrent_appends_with_racing_readers(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        stop = threading.Event()
+        seen = []
+
+        def writer(index):
+            def run():
+                for i in range(self.APPENDS_EACH):
+                    ledger.append({"writer": index, "i": i})
+
+            return run
+
+        def reader():
+            last = 0
+            while not stop.is_set():
+                count = ledger.count
+                tip = ledger.tip_digest
+                # monotone under the lock: no torn/backwards reads
+                assert count >= last
+                assert isinstance(tip, str) and tip
+                last = count
+            seen.append(last)
+
+        writers = [writer(i) for i in range(self.N_WRITERS)]
+
+        reader_threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in reader_threads:
+            thread.start()
+        try:
+            _run_threads(writers)
+        finally:
+            stop.set()
+            for thread in reader_threads:
+                thread.join()
+
+        assert ledger.count == self.N_WRITERS * self.APPENDS_EACH
+        assert ledger.verify() == []
+        # a fresh open recovers the same tip the properties reported
+        reopened = Ledger(tmp_path / "ledger.jsonl")
+        assert reopened.count == ledger.count
+        assert reopened.tip_digest == ledger.tip_digest
+
+
+class TestInflightLockTable:
+    def _service(self, tmp_path):
+        config = ServiceConfig(port=0, data_dir=tmp_path / "svc", difficulty=0)
+        return DetectionService(config)
+
+    def test_same_key_coalesces_to_one_lock_across_threads(self, tmp_path):
+        service = self._service(tmp_path)
+        locks = []
+        guard = threading.Lock()
+
+        def fetch():
+            lock = service._inflight_lock("spec-digest-1")
+            with guard:
+                locks.append(lock)
+
+        _run_threads([fetch] * 16)
+        assert len(locks) == 16
+        assert len({id(lock) for lock in locks}) == 1
+
+    def test_lock_table_stays_bounded_under_distinct_keys(self, tmp_path):
+        service = self._service(tmp_path)
+
+        def churn(start):
+            def run():
+                for i in range(start, start + 4 * _INFLIGHT_LOCKS):
+                    service._inflight_lock(f"key-{start}-{i}")
+
+            return run
+
+        _run_threads([churn(i * 10_000) for i in range(4)])
+        assert len(service._inflight) <= _INFLIGHT_LOCKS
+
+    def test_evicted_key_still_serializes_new_waiters(self, tmp_path):
+        # eviction mid-wait is safe by design: the loser recomputes a
+        # fresh lock and the store write underneath is first-wins.  The
+        # re-fetched lock must again coalesce for everyone.
+        service = self._service(tmp_path)
+        first = service._inflight_lock("hot-key")
+        for i in range(2 * _INFLIGHT_LOCKS):  # evict hot-key
+            service._inflight_lock(f"filler-{i}")
+        locks = []
+        guard = threading.Lock()
+
+        def refetch():
+            lock = service._inflight_lock("hot-key")
+            with guard:
+                locks.append(lock)
+
+        _run_threads([refetch] * 8)
+        assert len({id(lock) for lock in locks}) == 1
+        assert locks[0] is not first
